@@ -1,0 +1,84 @@
+// Command jfanalyze runs the Chapter 5 benchmark analysis: it executes the
+// SPEC-analog suites on the instrumented interpreter and reports method
+// utilization, dynamic and static instruction mixes, and the dataflow /
+// control-flow profile of the hot methods.
+//
+// Usage:
+//
+//	jfanalyze                 # all suites at the default scale
+//	jfanalyze -suite compress -scale 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"javaflow/internal/dataflow"
+	"javaflow/internal/jvm"
+	"javaflow/internal/report"
+	"javaflow/internal/workload"
+)
+
+func main() {
+	var (
+		suiteName = flag.String("suite", "", "run a single suite (default: all)")
+		scale     = flag.Int("scale", 2, "driver iteration scale")
+		top       = flag.Int("top", 4, "methods to list per suite")
+	)
+	flag.Parse()
+
+	for _, s := range workload.AllSuites() {
+		if *suiteName != "" && s.Name != *suiteName {
+			continue
+		}
+		if err := analyze(s, *scale, *top); err != nil {
+			fmt.Fprintf(os.Stderr, "jfanalyze: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func analyze(s *workload.Suite, scale, top int) error {
+	vm := jvm.NewMachine()
+	if err := s.Register(vm); err != nil {
+		return err
+	}
+	if err := s.Run(vm, scale); err != nil {
+		return err
+	}
+	p := vm.Profile
+
+	fmt.Printf("== %s (%s analog) ==\n", s.Name, s.Era)
+	fmt.Printf("total ops %s, %d methods executed, %d methods cover 90%%\n",
+		report.Sci(float64(p.TotalOps())), p.MethodsExecuted(), len(p.MethodsFor(0.90)))
+
+	t := report.New("top methods:", "Class-Method", "Ops", "Share", "Invocations")
+	for i, ms := range p.TopMethods() {
+		if i >= top {
+			break
+		}
+		t.Add(ms.Signature, report.Sci(float64(ms.Ops)), report.Pct(ms.Share),
+			p.Invocations(ms.Signature))
+	}
+	fmt.Println(t)
+
+	qs := p.QuickStats()
+	if qs.Base+qs.Quick > 0 {
+		fmt.Printf("storage resolution: %d base, %d _Quick (%s resolved)\n",
+			qs.Base, qs.Quick, report.Pct(qs.QuickPercent()))
+	}
+
+	rows, err := dataflow.AnalyzeAll(s.AllMethods())
+	if err != nil {
+		return err
+	}
+	st := report.New("static dataflow profile:",
+		"Method", "Insts", "Regs", "Stack", "Arcs", "Merges", "Fwd", "Back", "FanOutMax")
+	for _, r := range rows {
+		st.Add(r.Signature, r.StaticInst, r.Registers, r.MaxStack,
+			r.TotalArcs, r.Merges, r.ForwardJumps, r.BackJumps, int(r.FanOutMax))
+	}
+	fmt.Println(st)
+	return nil
+}

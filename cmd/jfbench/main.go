@@ -1,0 +1,85 @@
+// Command jfbench regenerates the dissertation's evaluation tables
+// (Tables 1–28) from the reproduction's substrates.
+//
+// Usage:
+//
+//	jfbench -all                 # every table, in order
+//	jfbench -table 22            # one table
+//	jfbench -table 22 -gen 400   # smaller generated population (faster)
+//
+// The population defaults mirror the dissertation: ~1,600 methods, two
+// branch-policy executions each, six machine configurations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"javaflow/internal/experiments"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "regenerate every table (1-28)")
+		table     = flag.String("table", "", "comma-separated table numbers to regenerate")
+		ablations = flag.Bool("ablations", false, "run the design-space ablation sweeps")
+		scale     = flag.Int("scale", 2, "benchmark driver iteration scale")
+		gen       = flag.Int("gen", 1580, "generated-method population size")
+		seed      = flag.Int64("seed", 2014, "generated-method population seed")
+		cycles    = flag.Int("maxcycles", 400_000, "per-execution mesh-cycle timeout")
+	)
+	flag.Parse()
+
+	ctx := experiments.NewContext()
+	ctx.Scale = *scale
+	ctx.GenCount = *gen
+	ctx.Seed = *seed
+	ctx.MaxMeshCycles = *cycles
+
+	if *ablations {
+		tables, err := ctx.Ablations()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jfbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		if !*all && *table == "" {
+			return
+		}
+	}
+
+	if !*all && *table == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var numbers []int
+	if *all {
+		for n := 1; n <= 28; n++ {
+			numbers = append(numbers, n)
+		}
+	} else {
+		for _, part := range strings.Split(*table, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "jfbench: bad table number %q\n", part)
+				os.Exit(2)
+			}
+			numbers = append(numbers, n)
+		}
+	}
+
+	for _, n := range numbers {
+		t, err := ctx.TableByNumber(n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jfbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+	}
+}

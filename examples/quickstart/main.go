@@ -1,0 +1,76 @@
+// Quickstart: assemble a small Java method, verify it, interpret it on the
+// baseline JVM, then deploy it to the JavaFlow DataFlow Fabric and simulate
+// its execution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"javaflow"
+)
+
+func main() {
+	// int sum(int n): for (i = 0, s = 0; i < n; i++) s += i; return s;
+	asm := javaflow.NewAssembler()
+	asm.PushInt(0).IStore(1). // s = 0
+					PushInt(0).IStore(2). // i = 0
+					Label("loop").
+					ILoad(2).ILoad(0).
+					Branch(javaflow.OpIfIcmpge, "done").
+					ILoad(1).ILoad(2).Op(javaflow.OpIadd).IStore(1).
+					Iinc(2, 1).
+					Branch(javaflow.OpGoto, "loop").
+					Label("done").
+					ILoad(1).Op(javaflow.OpIreturn)
+	code, err := asm.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := &javaflow.Method{
+		Name: "sum", Class: "Quickstart",
+		Argc: 1, ReturnsValue: true, MaxLocals: 3,
+		Code: code, Pool: javaflow.NewConstantPool(),
+	}
+	if err := javaflow.Verify(m); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified: %d instructions, max stack %d\n\n%s\n",
+		len(m.Code), m.MaxStack, javaflow.Disassemble(m.Code))
+
+	// 1. Run it on the interpreting JVM (the baseline substrate).
+	vm := javaflow.NewJVM()
+	cls := javaflow.NewClass("Quickstart")
+	cls.Add(m)
+	if err := vm.Register(cls); err != nil {
+		log.Fatal(err)
+	}
+	result, err := vm.Invoke(m, javaflow.Int(100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interpreter: sum(100) = %d (executed %d bytecodes)\n\n",
+		result.I, vm.Profile.TotalOps())
+
+	// 2. Deploy to each DataFlow Fabric configuration and simulate.
+	fmt.Println("dataflow fabric simulation:")
+	var base float64
+	for _, cfg := range javaflow.Configurations() {
+		machine := javaflow.NewMachine(cfg)
+		dep, err := machine.Deploy(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := dep.ExecuteBoth()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ipc := run.MeanIPC()
+		if cfg.Name == "Baseline" {
+			base = ipc
+		}
+		fmt.Printf("  %-10s IPC %.3f  FoM %3.0f%%  coverage %3.0f%%\n",
+			cfg.Name, ipc, 100*ipc/base, 100*run.BP1.Coverage())
+	}
+}

@@ -1,0 +1,240 @@
+// Package classfile models the subset of the Java ClassFile structure that
+// the JavaFlow machine consumes: methods (bytecode streams with known
+// max-stack/max-locals), the Constant Pool, and field/method references
+// resolved to direct offsets by the General Purpose Processor's
+// preparation/verification/resolution steps (Section 6.2).
+package classfile
+
+import (
+	"fmt"
+
+	"javaflow/internal/bytecode"
+)
+
+// ConstKind discriminates constant-pool entries.
+type ConstKind uint8
+
+const (
+	ConstInvalid ConstKind = iota
+	ConstInt
+	ConstLong
+	ConstFloat
+	ConstDouble
+	ConstString
+	ConstFieldRef
+	ConstMethodRef
+	ConstClassRef
+)
+
+func (k ConstKind) String() string {
+	switch k {
+	case ConstInt:
+		return "int"
+	case ConstLong:
+		return "long"
+	case ConstFloat:
+		return "float"
+	case ConstDouble:
+		return "double"
+	case ConstString:
+		return "string"
+	case ConstFieldRef:
+		return "fieldref"
+	case ConstMethodRef:
+		return "methodref"
+	case ConstClassRef:
+		return "classref"
+	default:
+		return "invalid"
+	}
+}
+
+// FieldRef is a field reference after the Resolution step: a direct slot
+// offset into either the class static area (Method Area) or the instance
+// data on the Heap. The _Quick instruction forms carry the pool index of one
+// of these (Figure 10).
+type FieldRef struct {
+	Class  string
+	Name   string
+	Static bool
+	Slot   int
+}
+
+// MethodRef is a call-site reference with its signature information, which
+// the GPP uses to resolve the pop count of invoke instructions before
+// loading a method into the fabric.
+type MethodRef struct {
+	Class        string
+	Name         string
+	Argc         int // declared arguments, excluding any receiver
+	Instance     bool
+	ReturnsValue bool
+}
+
+// Signature renders the canonical "Class.Name/argc" form used in reports.
+func (r MethodRef) Signature() string {
+	return fmt.Sprintf("%s.%s/%d", r.Class, r.Name, r.Argc)
+}
+
+// Constant is one constant-pool entry.
+type Constant struct {
+	Kind   ConstKind
+	I      int64
+	F      float64
+	S      string
+	Field  FieldRef
+	Method MethodRef
+}
+
+// ConstantPool is the per-class constant pool. Index 0 is reserved (as in
+// the architected class file), so the first added entry has index 1.
+type ConstantPool struct {
+	entries []Constant
+}
+
+// NewConstantPool returns a pool with the reserved zero entry.
+func NewConstantPool() *ConstantPool {
+	return &ConstantPool{entries: make([]Constant, 1)}
+}
+
+func (p *ConstantPool) add(c Constant) int {
+	p.entries = append(p.entries, c)
+	return len(p.entries) - 1
+}
+
+// AddInt adds an integer constant and returns its index.
+func (p *ConstantPool) AddInt(v int64) int {
+	return p.add(Constant{Kind: ConstInt, I: v})
+}
+
+// AddLong adds a long constant (loaded with ldc2_w).
+func (p *ConstantPool) AddLong(v int64) int {
+	return p.add(Constant{Kind: ConstLong, I: v})
+}
+
+// AddFloat adds a float constant.
+func (p *ConstantPool) AddFloat(v float64) int {
+	return p.add(Constant{Kind: ConstFloat, F: v})
+}
+
+// AddDouble adds a double constant (loaded with ldc2_w).
+func (p *ConstantPool) AddDouble(v float64) int {
+	return p.add(Constant{Kind: ConstDouble, F: v})
+}
+
+// AddString adds a string constant.
+func (p *ConstantPool) AddString(s string) int {
+	return p.add(Constant{Kind: ConstString, S: s})
+}
+
+// AddFieldRef adds a resolved field reference.
+func (p *ConstantPool) AddFieldRef(r FieldRef) int {
+	return p.add(Constant{Kind: ConstFieldRef, Field: r})
+}
+
+// AddMethodRef adds a method reference.
+func (p *ConstantPool) AddMethodRef(r MethodRef) int {
+	return p.add(Constant{Kind: ConstMethodRef, Method: r})
+}
+
+// Len returns the number of entries including the reserved zero entry.
+func (p *ConstantPool) Len() int { return len(p.entries) }
+
+// At returns entry i.
+func (p *ConstantPool) At(i int) (Constant, error) {
+	if i <= 0 || i >= len(p.entries) {
+		return Constant{}, fmt.Errorf("constant pool index %d out of range [1,%d)", i, len(p.entries))
+	}
+	return p.entries[i], nil
+}
+
+// CallEffect implements bytecode.SignatureResolver over the pool.
+func (p *ConstantPool) CallEffect(cpIndex int) (int, bool, error) {
+	c, err := p.At(cpIndex)
+	if err != nil {
+		return 0, false, err
+	}
+	if c.Kind != ConstMethodRef {
+		return 0, false, fmt.Errorf("constant %d is %s, not a method ref", cpIndex, c.Kind)
+	}
+	return c.Method.Argc, c.Method.ReturnsValue, nil
+}
+
+var _ bytecode.SignatureResolver = (*ConstantPool)(nil)
+
+// Method is a verified, resolution-complete Java method ready for either
+// interpretation or deployment to the DataFlow Fabric.
+type Method struct {
+	Class string
+	Name  string
+
+	// Argc is the number of declared arguments (excluding the receiver).
+	Argc int
+	// Instance methods receive their heap reference in local register 0.
+	Instance bool
+	// ReturnsValue reports whether the method pushes a result for its
+	// caller.
+	ReturnsValue bool
+
+	// MaxLocals and MaxStack are fixed at compile time — a property of the
+	// JVM the JavaFlow machine relies on to size fabric state (Section 3.6
+	// item 2).
+	MaxLocals int
+	MaxStack  int
+
+	Code []bytecode.Instruction
+	Pool *ConstantPool
+}
+
+// ParamRegisters is the number of local registers consumed by parameters
+// (receiver plus declared arguments; every value is one register in the
+// single-slot model).
+func (m *Method) ParamRegisters() int {
+	n := m.Argc
+	if m.Instance {
+		n++
+	}
+	return n
+}
+
+// Ref returns the method's own reference record.
+func (m *Method) Ref() MethodRef {
+	return MethodRef{
+		Class: m.Class, Name: m.Name, Argc: m.Argc,
+		Instance: m.Instance, ReturnsValue: m.ReturnsValue,
+	}
+}
+
+// Signature renders "Class.Name/argc".
+func (m *Method) Signature() string { return m.Ref().Signature() }
+
+// Class groups methods and static field slots, standing in for the loaded
+// ClassFile plus its Method Area allocation.
+type Class struct {
+	Name        string
+	Methods     map[string]*Method
+	StaticSlots int
+	// InstanceSlots sizes objects instantiated from this class.
+	InstanceSlots int
+}
+
+// NewClass returns an empty class.
+func NewClass(name string) *Class {
+	return &Class{Name: name, Methods: make(map[string]*Method)}
+}
+
+// Add registers a method with the class, setting its Class name.
+func (c *Class) Add(m *Method) *Class {
+	m.Class = c.Name
+	c.Methods[m.Name] = m
+	return c
+}
+
+// Method looks up a method by bare name.
+func (c *Class) Method(name string) (*Method, error) {
+	m, ok := c.Methods[name]
+	if !ok {
+		return nil, fmt.Errorf("class %s has no method %s", c.Name, name)
+	}
+	return m, nil
+}

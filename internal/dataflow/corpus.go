@@ -1,0 +1,199 @@
+package dataflow
+
+import (
+	"javaflow/internal/bytecode"
+	"javaflow/internal/classfile"
+	"javaflow/internal/stats"
+)
+
+// MethodRow is the per-method record behind the corpus-level DataFlow
+// tables (Tables 9–14).
+type MethodRow struct {
+	Signature  string
+	StaticInst int
+	Registers  int
+	MaxStack   int
+	BackMerges int
+
+	FanOutAvg float64
+	FanOutMax float64
+	ArcAvg    float64
+	ArcMax    float64
+
+	Merges int
+
+	ForwardJumps int
+	FwdLenAvg    float64
+	FwdLenMax    float64
+	BackJumps    int
+	BackLenAvg   float64
+	BackLenMax   float64
+	UsesSpecial  bool
+	Calls        int
+	TotalArcs    int
+}
+
+// Row condenses one analysis into its table record.
+func (an *Analysis) Row() MethodRow {
+	fan := an.FanOutStats()
+	arcs := an.ArcLengths()
+	fwd := JumpLengths(an.ForwardJumps)
+	back := JumpLengths(an.BackJumps)
+	return MethodRow{
+		Signature:    an.Method.Signature(),
+		StaticInst:   len(an.Method.Code),
+		Registers:    an.RegistersUsed,
+		MaxStack:     an.Method.MaxStack,
+		BackMerges:   an.BackMerges,
+		FanOutAvg:    stats.Mean(fan),
+		FanOutMax:    stats.Max(fan),
+		ArcAvg:       stats.Mean(arcs),
+		ArcMax:       stats.Max(arcs),
+		Merges:       an.Merges,
+		ForwardJumps: len(an.ForwardJumps),
+		FwdLenAvg:    stats.Mean(fwd),
+		FwdLenMax:    stats.Max(fwd),
+		BackJumps:    len(an.BackJumps),
+		BackLenAvg:   stats.Mean(back),
+		BackLenMax:   stats.Max(back),
+		UsesSpecial:  an.UsesSpecial,
+		Calls:        an.Calls,
+		TotalArcs:    len(an.Arcs),
+	}
+}
+
+// AnalyzeAll analyzes a method population, skipping methods that fail
+// verification (none should).
+func AnalyzeAll(methods []*classfile.Method) ([]MethodRow, error) {
+	rows := make([]MethodRow, 0, len(methods))
+	for _, m := range methods {
+		an, err := Analyze(m)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, an.Row())
+	}
+	return rows, nil
+}
+
+// Filter reproduces the dissertation's method filters (Table 16).
+type Filter uint8
+
+const (
+	FilterAll Filter = iota
+	Filter1          // 10 < static instructions < 1000
+	Filter2          // top-90% dynamic ∩ Filter1 (requires hot-set info)
+)
+
+// InFilter1 applies the size window of Filter 1.
+func InFilter1(staticInst int) bool {
+	return staticInst > 10 && staticInst < 1000
+}
+
+// Select returns the rows passing the filter. hot (nil for FilterAll and
+// Filter1) is the set of top-90% signatures for Filter2.
+func Select(rows []MethodRow, f Filter, hot map[string]bool) []MethodRow {
+	var out []MethodRow
+	for _, r := range rows {
+		switch f {
+		case FilterAll:
+			out = append(out, r)
+		case Filter1:
+			if InFilter1(r.StaticInst) {
+				out = append(out, r)
+			}
+		case Filter2:
+			if InFilter1(r.StaticInst) && hot[r.Signature] {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// Column pulls one numeric column from a row set for summarization.
+func Column(rows []MethodRow, get func(MethodRow) float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = get(r)
+	}
+	return out
+}
+
+// CorpusSummary aggregates the Table 9–14 statistics over a row set.
+type CorpusSummary struct {
+	StaticInst stats.Summary // Table 9
+	Registers  stats.Summary
+	Stack      stats.Summary
+	BackMerge  stats.Summary
+
+	FanOutAvg stats.Summary // Table 10
+	FanOutMax stats.Summary
+	ArcAvg    stats.Summary
+	ArcMax    stats.Summary
+
+	Merges stats.Summary // Table 12
+
+	FwdJumps   stats.Summary // Table 13
+	FwdLenAvg  stats.Summary
+	FwdLenMax  stats.Summary
+	BackJumps  stats.Summary // Table 14
+	BackLenAvg stats.Summary
+	BackLenMax stats.Summary
+}
+
+// Summarize computes the corpus summary.
+func Summarize(rows []MethodRow) CorpusSummary {
+	col := func(get func(MethodRow) float64) stats.Summary {
+		return stats.Summarize(Column(rows, get))
+	}
+	return CorpusSummary{
+		StaticInst: col(func(r MethodRow) float64 { return float64(r.StaticInst) }),
+		Registers:  col(func(r MethodRow) float64 { return float64(r.Registers) }),
+		Stack:      col(func(r MethodRow) float64 { return float64(r.MaxStack) }),
+		BackMerge:  col(func(r MethodRow) float64 { return float64(r.BackMerges) }),
+		FanOutAvg:  col(func(r MethodRow) float64 { return r.FanOutAvg }),
+		FanOutMax:  col(func(r MethodRow) float64 { return r.FanOutMax }),
+		ArcAvg:     col(func(r MethodRow) float64 { return r.ArcAvg }),
+		ArcMax:     col(func(r MethodRow) float64 { return r.ArcMax }),
+		Merges:     col(func(r MethodRow) float64 { return float64(r.Merges) }),
+		FwdJumps:   col(func(r MethodRow) float64 { return float64(r.ForwardJumps) }),
+		FwdLenAvg:  col(func(r MethodRow) float64 { return r.FwdLenAvg }),
+		FwdLenMax:  col(func(r MethodRow) float64 { return r.FwdLenMax }),
+		BackJumps:  col(func(r MethodRow) float64 { return float64(r.BackJumps) }),
+		BackLenAvg: col(func(r MethodRow) float64 { return r.BackLenAvg }),
+		BackLenMax: col(func(r MethodRow) float64 { return r.BackLenMax }),
+	}
+}
+
+// StaticMix aggregates the 4-way static instruction mix (Table 6).
+type StaticMix struct {
+	Arith, Float, Control, Storage, Other int
+}
+
+// Total sums all classes.
+func (s StaticMix) Total() int {
+	return s.Arith + s.Float + s.Control + s.Storage + s.Other
+}
+
+// MixOf computes the static mix over a method set.
+func MixOf(methods []*classfile.Method) StaticMix {
+	var mix StaticMix
+	for _, m := range methods {
+		for _, in := range m.Code {
+			switch in.Group().Mix() {
+			case bytecode.MixArith:
+				mix.Arith++
+			case bytecode.MixFloat:
+				mix.Float++
+			case bytecode.MixControl:
+				mix.Control++
+			case bytecode.MixStorage:
+				mix.Storage++
+			default:
+				mix.Other++
+			}
+		}
+	}
+	return mix
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastContext shrinks the population for unit testing.
+func fastContext() *Context {
+	c := NewContext()
+	c.Scale = 1
+	c.GenCount = 150
+	c.MaxMeshCycles = 200_000
+	return c
+}
+
+func TestChapter5Tables(t *testing.T) {
+	c := fastContext()
+	for n := 1; n <= 8; n++ {
+		tbl, err := c.TableByNumber(n)
+		if err != nil {
+			t.Fatalf("table %d: %v", n, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("table %d is empty", n)
+		}
+	}
+}
+
+func TestTable01Shape(t *testing.T) {
+	c := fastContext()
+	tbl, err := c.Table01()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every suite appears; the 90% method counts must be small (the
+	// paper's headline: a handful of methods dominate).
+	if len(tbl.Rows) < 10 {
+		t.Fatalf("only %d benchmark rows", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[4] == "0" {
+			t.Errorf("%s: zero 90%% methods", row[0])
+		}
+	}
+}
+
+func TestTable05QuickShare(t *testing.T) {
+	c := fastContext()
+	tbl, err := c.Table05()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		// Paper: 97% and 99% — warm storage traffic is overwhelmingly
+		// _Quick. At scale 1 the warm-up fraction is larger, so accept
+		// anything clearly majority-Quick.
+		pct := row[4]
+		if !strings.HasSuffix(pct, "%") {
+			t.Fatalf("bad percentage cell %q", pct)
+		}
+		var v int
+		if _, err := sscan(pct[:len(pct)-1], &v); err != nil {
+			t.Fatal(err)
+		}
+		if v < 80 {
+			t.Errorf("%s: quick share %d%%, want >= 80%%", row[0], v)
+		}
+	}
+}
+
+func sscan(s string, v *int) (int, error) {
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int(r-'0')
+	}
+	*v = n
+	return n, nil
+}
+
+func TestDataflowTables(t *testing.T) {
+	c := fastContext()
+	for n := 9; n <= 16; n++ {
+		tbl, err := c.TableByNumber(n)
+		if err != nil {
+			t.Fatalf("table %d: %v", n, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("table %d empty", n)
+		}
+	}
+}
+
+func TestTable09NoBackMerges(t *testing.T) {
+	c := fastContext()
+	tbl, err := c.Table09()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[0] == "Back Merge" {
+			if row[4] != "0.000" {
+				t.Errorf("back merge max = %s, want 0", row[4])
+			}
+			return
+		}
+	}
+	t.Fatal("no Back Merge row")
+}
+
+func TestPerformanceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	c := fastContext()
+	for _, n := range []int{17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28} {
+		tbl, err := c.TableByNumber(n)
+		if err != nil {
+			t.Fatalf("table %d: %v", n, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("table %d empty", n)
+		}
+	}
+}
+
+func TestTable22FigureOfMeritShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	c := fastContext()
+	tbl, err := c.Table22()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline shape: monotonically declining FoM down the Compact
+	// ladder, with Sparse2/Hetero2 at the bottom around the paper's ~0.5.
+	foms := make(map[string]float64)
+	for _, row := range tbl.Rows {
+		var v float64
+		if _, err := fscan(row[2], &v); err != nil {
+			t.Fatal(err)
+		}
+		foms[row[0]] = v
+	}
+	if foms["Baseline"] != 1.0 {
+		t.Errorf("baseline FoM = %v, want 1.0", foms["Baseline"])
+	}
+	order := []string{"Baseline", "Compact10", "Compact4", "Compact2"}
+	for i := 1; i < len(order); i++ {
+		if foms[order[i]] > foms[order[i-1]]+0.02 {
+			t.Errorf("FoM(%s)=%.3f exceeds FoM(%s)=%.3f",
+				order[i], foms[order[i]], order[i-1], foms[order[i-1]])
+		}
+	}
+	for _, name := range []string{"Sparse2", "Hetero2"} {
+		if foms[name] < 0.25 || foms[name] > 0.75 {
+			t.Errorf("FoM(%s) = %.3f, want in the paper's 0.4-0.6 region", name, foms[name])
+		}
+		if foms[name] > foms["Compact2"]+0.02 {
+			t.Errorf("FoM(%s)=%.3f should not exceed Compact2=%.3f",
+				name, foms[name], foms["Compact2"])
+		}
+	}
+}
+
+func fscan(s string, v *float64) (int, error) {
+	var whole, frac float64
+	var seenDot bool
+	var div float64 = 1
+	for _, r := range s {
+		if r == '.' {
+			seenDot = true
+			continue
+		}
+		if r < '0' || r > '9' {
+			break
+		}
+		if seenDot {
+			div *= 10
+			frac = frac*10 + float64(r-'0')
+		} else {
+			whole = whole*10 + float64(r-'0')
+		}
+	}
+	*v = whole + frac/div
+	return 1, nil
+}
+
+func TestTableByNumberRejectsUnknown(t *testing.T) {
+	c := fastContext()
+	if _, err := c.TableByNumber(0); err == nil {
+		t.Error("table 0 should fail")
+	}
+	if _, err := c.TableByNumber(29); err == nil {
+		t.Error("table 29 should fail")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	c := fastContext()
+	tables, err := c.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("%d ablation tables, want 4", len(tables))
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) < 2 {
+			t.Errorf("%s: only %d rows", tbl.Title, len(tbl.Rows))
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"javaflow/internal/bytecode"
+	"javaflow/internal/dataflow"
+	"javaflow/internal/report"
+	"javaflow/internal/stats"
+	"javaflow/internal/workload"
+)
+
+// Table01 reproduces "Method Utilization in SPEC Benchmarks": total dynamic
+// instructions, methods used, and the method count covering 90% of
+// execution, per benchmark.
+func (c *Context) Table01() (*report.Table, error) {
+	t := report.New("Table 1: Method Utilization in SPEC Benchmarks (reproduction)",
+		"Benchmark", "Era", "Total Ops", "Methods", "90% Methods")
+	for _, s := range c.Suites() {
+		p, err := c.Profile(s)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(s.Name, s.Era, report.Sci(float64(p.TotalOps())),
+			p.MethodsExecuted(), len(p.MethodsFor(0.90)))
+	}
+	return t, nil
+}
+
+// mixColumns groups the dynamic mix into the Table 2 column families.
+func mixColumns(mix map[bytecode.Group]uint64) (localsStack, fixed, float, control, calls, constants, storage, special uint64) {
+	for g, n := range mix {
+		switch g {
+		case bytecode.GroupLocalRead, bytecode.GroupLocalWrite, bytecode.GroupLocalInc, bytecode.GroupMove:
+			localsStack += n
+		case bytecode.GroupIntArith:
+			fixed += n
+		case bytecode.GroupFloatArith, bytecode.GroupFloatConv:
+			float += n
+		case bytecode.GroupControl:
+			control += n
+		case bytecode.GroupCall, bytecode.GroupReturn:
+			calls += n
+		case bytecode.GroupMemConst:
+			constants += n
+		case bytecode.GroupMemRead, bytecode.GroupMemWrite:
+			storage += n
+		default:
+			special += n
+		}
+	}
+	return
+}
+
+// Table02 reproduces "Dynamic Instruction Mix of 90% Methods".
+func (c *Context) Table02() (*report.Table, error) {
+	t := report.New("Table 2: Dynamic Instruction Mix of 90% Methods (reproduction)",
+		"Benchmark", "Locals+Stack", "Fixed Arith", "Float Arith",
+		"Control", "Calls+Ret", "Constants-Stg", "Storage", "Obj+Special")
+	for _, s := range c.Suites() {
+		p, err := c.Profile(s)
+		if err != nil {
+			return nil, err
+		}
+		var sigs []string
+		for _, ms := range p.MethodsFor(0.90) {
+			sigs = append(sigs, ms.Signature)
+		}
+		mix := p.MixOf(sigs)
+		total := float64(mix.Total())
+		if total == 0 {
+			continue
+		}
+		ls, fx, fl, ct, ca, cs, st, sp := mixColumns(mix)
+		pc := func(v uint64) string { return report.Pct(float64(v) / total) }
+		t.Add(s.Name, pc(ls), pc(fx), pc(fl), pc(ct), pc(ca), pc(cs), pc(st), pc(sp))
+	}
+	return t, nil
+}
+
+// topFour renders the Table 3/4 layout for one era.
+func (c *Context) topFour(era, title string) (*report.Table, error) {
+	t := report.New(title, "Benchmark", "Class-Method", "Ops", "% of BM")
+	for _, s := range c.Suites() {
+		if s.Era != era {
+			continue
+		}
+		p, err := c.Profile(s)
+		if err != nil {
+			return nil, err
+		}
+		top := p.TopMethods()
+		if len(top) > 4 {
+			top = top[:4]
+		}
+		var covered float64
+		for _, ms := range top {
+			covered += ms.Share
+		}
+		t.Add(s.Name, fmt.Sprintf("(top 4 = %s)", report.Pct(covered)), "", "")
+		for _, ms := range top {
+			t.Add("", ms.Signature, report.Sci(float64(ms.Ops)), report.Pct(ms.Share))
+		}
+	}
+	return t, nil
+}
+
+// Table03 reproduces "SpecJvm2008 - Top 4 Methods".
+func (c *Context) Table03() (*report.Table, error) {
+	return c.topFour("SpecJvm2008", "Table 3: SpecJvm2008-analog - Top 4 Methods (reproduction)")
+}
+
+// Table04 reproduces "SpecJvm98 - Top 4 Methods".
+func (c *Context) Table04() (*report.Table, error) {
+	return c.topFour("SpecJvm98", "Table 4: SpecJvm98-analog - Top 4 Methods (reproduction)")
+}
+
+// Table05 reproduces "Impact of Quick Instructions".
+func (c *Context) Table05() (*report.Table, error) {
+	t := report.New("Table 5: Impact of Quick Instructions (reproduction)",
+		"Era", "Total Ops", "Storage Base", "Storage Quick", "Percentage")
+	type acc struct {
+		ops, base, quick uint64
+	}
+	byEra := map[string]*acc{}
+	for _, s := range c.Suites() {
+		p, err := c.Profile(s)
+		if err != nil {
+			return nil, err
+		}
+		a := byEra[s.Era]
+		if a == nil {
+			a = &acc{}
+			byEra[s.Era] = a
+		}
+		qs := p.QuickStats()
+		a.ops += p.TotalOps()
+		a.base += qs.Base
+		a.quick += qs.Quick
+	}
+	eras := make([]string, 0, len(byEra))
+	for era := range byEra {
+		eras = append(eras, era)
+	}
+	sort.Strings(eras)
+	for _, era := range eras {
+		a := byEra[era]
+		pct := 0.0
+		if a.base+a.quick > 0 {
+			pct = float64(a.quick) / float64(a.base+a.quick)
+		}
+		t.Add(era, report.Sci(float64(a.ops)), report.Sci(float64(a.base)),
+			report.Sci(float64(a.quick)), report.Pct(pct))
+	}
+	return t, nil
+}
+
+// Table06 reproduces "Static Mix Analysis" over the named benchmark
+// methods, by benchmark suite.
+func (c *Context) Table06() (*report.Table, error) {
+	t := report.New("Table 6: Static Mix Analysis (reproduction)",
+		"Benchmark", "%Arith", "%Float", "%Control", "%Storage", "Total Insts")
+	var all dataflow.StaticMix
+	for _, s := range c.Suites() {
+		mix := dataflow.MixOf(s.AllMethods())
+		total := float64(mix.Total())
+		if total == 0 {
+			continue
+		}
+		all.Arith += mix.Arith
+		all.Float += mix.Float
+		all.Control += mix.Control
+		all.Storage += mix.Storage
+		all.Other += mix.Other
+		t.Add(s.Name,
+			report.Pct(float64(mix.Arith)/total),
+			report.Pct(float64(mix.Float)/total),
+			report.Pct(float64(mix.Control)/total),
+			report.Pct(float64(mix.Storage)/total),
+			mix.Total())
+	}
+	total := float64(all.Total())
+	t.Add("Total",
+		report.Pct(float64(all.Arith)/total),
+		report.Pct(float64(all.Float)/total),
+		report.Pct(float64(all.Control)/total),
+		report.Pct(float64(all.Storage)/total),
+		all.Total())
+	return t, nil
+}
+
+// Table07 reproduces "Benchmark DataFlow and Control Flow Analysis": per
+// suite, branch counts, resolution cycles, dataflow transfer counts, merges
+// and (zero) back merges.
+func (c *Context) Table07() (*report.Table, error) {
+	t := report.New("Table 7: Benchmark DataFlow and Control Flow Analysis (reproduction)",
+		"Benchmark", "Forward", "Back", "Total Insts", "Total Cycles",
+		"Total DFlows", "DFlows Merge", "DFlows Back")
+	var sumF, sumB, sumI, sumC, sumD, sumM, sumBk int
+	for _, s := range c.Suites() {
+		rows, err := dataflow.AnalyzeAll(s.AllMethods())
+		if err != nil {
+			return nil, err
+		}
+		var f, b, insts, cycles, dflows, merges, back int
+		for _, r := range rows {
+			f += r.ForwardJumps
+			b += r.BackJumps
+			insts += r.StaticInst
+			cycles += 2*r.StaticInst + r.ForwardJumps + r.BackJumps
+			dflows += r.TotalArcs
+			merges += r.Merges
+			back += r.BackMerges
+		}
+		sumF += f
+		sumB += b
+		sumI += insts
+		sumC += cycles
+		sumD += dflows
+		sumM += merges
+		sumBk += back
+		t.Add(s.Name, f, b, insts, cycles, dflows, merges, back)
+	}
+	t.Add("Sum", sumF, sumB, sumI, sumC, sumD, sumM, sumBk)
+	return t, nil
+}
+
+// Table08 reproduces the "Analysis Summary".
+func (c *Context) Table08() (*report.Table, error) {
+	var totalOps, methods uint64
+	hot := 0
+	var hotInsts, hotRegs []float64
+	var fwd, back []float64
+
+	for _, s := range c.Suites() {
+		p, err := c.Profile(s)
+		if err != nil {
+			return nil, err
+		}
+		totalOps += p.TotalOps()
+		methods += uint64(p.MethodsExecuted())
+		hot += len(p.MethodsFor(0.90))
+	}
+	rows, err := dataflow.AnalyzeAll(workload.NamedMethods())
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		hotInsts = append(hotInsts, float64(r.StaticInst))
+		hotRegs = append(hotRegs, float64(r.Registers))
+		fwd = append(fwd, float64(r.ForwardJumps))
+		back = append(back, float64(r.BackJumps))
+	}
+	mix := dataflow.MixOf(workload.NamedMethods())
+	total := float64(mix.Total())
+
+	t := report.New("Table 8: Analysis Summary (reproduction)", "Quantity", "Value")
+	t.Add("Dynamic Methods Executed", methods)
+	t.Add("Dynamic Instructions Executed", report.Sci(float64(totalOps)))
+	t.Add("Methods taking 90% total time", hot)
+	t.Add("Methods analyzed (named analogs)", len(rows))
+	t.Add("Avg. Inst/Method", stats.Mean(hotInsts))
+	t.Add("Avg. Registers/Method", stats.Mean(hotRegs))
+	t.Add("Static mix arith", report.Pct(float64(mix.Arith)/total))
+	t.Add("Static mix float", report.Pct(float64(mix.Float)/total))
+	t.Add("Static mix control", report.Pct(float64(mix.Control)/total))
+	t.Add("Static mix storage", report.Pct(float64(mix.Storage)/total))
+	t.Add("Average # Forward Branches", stats.Mean(fwd))
+	t.Add("Average # Back Branches", stats.Mean(back))
+	return t, nil
+}

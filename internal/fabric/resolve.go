@@ -1,0 +1,186 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"javaflow/internal/bytecode"
+)
+
+// Target is one resolved consumer address held by a producer node: the mesh
+// destination and operand side its fired data is routed to (Section 6.2,
+// "DataFlow Address Resolution"). These arrays are built by the fabric
+// itself — "unlike other machines, these 'Push' addresses are generated
+// automatically and not part of the instruction set stored in the General
+// Purpose Processor's memory."
+type Target struct {
+	Consumer int // linear address of the consuming instruction
+	Side     int // 1-based operand side at the consumer
+}
+
+// Resolution is the outcome of the two-pass serial-network protocol:
+// CMD_SEND_ADDRESSES_DOWN followed by CMD_SEND_NEEDS_UP.
+type Resolution struct {
+	Placement *Placement
+
+	// Targets[i] lists the resolved consumers of instruction i's pushes.
+	Targets [][]Target
+
+	// Sources[i] lists the control-flow predecessor instructions of i
+	// (the sourceLinearAddresses each Instruction Data Unit learns during
+	// the addresses-down pass).
+	Sources [][]int
+
+	// QUp[i] counts need-messages buffered at or forwarded through
+	// instruction i during the needs-up pass; MaxQUp is the per-method
+	// buffering requirement (Table 11).
+	QUp    []int
+	MaxQUp int
+
+	// Cycles is the serial-cycle cost of the whole resolution: a full
+	// traversal for each pass plus one explicit message per branch source
+	// (Table 7 reports ≈2× the instruction count).
+	Cycles int
+
+	// Merges counts consumer sides fed by multiple producers (DataFlow
+	// merges); BackMerges counts impossible backward flows and must be 0.
+	Merges     int
+	BackMerges int
+}
+
+// Resolve runs address resolution over a placed method.
+func Resolve(p *Placement) (*Resolution, error) {
+	m := p.Method
+	n := len(m.Code)
+	r := &Resolution{
+		Placement: p,
+		Targets:   make([][]Target, n),
+		Sources:   make([][]int, n),
+		QUp:       make([]int, n),
+	}
+
+	// ---- Pass 1: CMD_SEND_ADDRESSES_DOWN ----
+	// Every instruction with a non-sequential successor identifies itself
+	// to the target; sequential flow is implicit ("only those nodes that
+	// are non-sequential must be explicitly identified").
+	branchMessages := 0
+	addSource := func(to, from int) {
+		if to < 0 || to >= n {
+			return
+		}
+		r.Sources[to] = append(r.Sources[to], from)
+	}
+	for i, in := range m.Code {
+		switch {
+		case in.IsReturn():
+			// no successors
+		case in.Op == bytecode.Goto || in.Op == bytecode.GotoW:
+			addSource(in.Target, i)
+			branchMessages++
+		case in.IsBranch():
+			addSource(in.Target, i)
+			addSource(i+1, i)
+			branchMessages++
+		default:
+			addSource(i+1, i)
+		}
+	}
+	for i := range r.Sources {
+		sort.Ints(r.Sources[i])
+	}
+
+	// ---- Pass 2: CMD_SEND_NEEDS_UP ----
+	// Each instruction emits one need per pop; the need climbs the source
+	// chains until a producer with an unsatisfied push captures it. A
+	// Branch-ID tag deduplicates copies that reconverge above a control
+	// split — modelled here by memoizing (node, skip) states per need.
+	type capture struct{ producer, outIndex int }
+	for c := n - 1; c >= 0; c-- {
+		in := m.Code[c]
+		for side := 1; side <= in.Pop; side++ {
+			skip := in.Pop - side
+			visited := make(map[[2]int]bool)
+			producers := map[int]bool{}
+
+			type state struct{ node, skip int }
+			work := make([]state, 0, 4)
+			for _, s := range r.Sources[c] {
+				work = append(work, state{s, skip})
+			}
+			for len(work) > 0 {
+				st := work[len(work)-1]
+				work = work[:len(work)-1]
+				key := [2]int{st.node, st.skip}
+				if visited[key] {
+					continue
+				}
+				visited[key] = true
+				pin := m.Code[st.node]
+				if pin.Push > st.skip {
+					// Captured: this node produces the wanted value.
+					if !producers[st.node] {
+						producers[st.node] = true
+						r.Targets[st.node] = append(r.Targets[st.node],
+							Target{Consumer: c, Side: side})
+						if st.node > c {
+							r.BackMerges++
+						}
+					}
+					continue
+				}
+				// Forwarded further up: buffer accounting.
+				r.QUp[st.node]++
+				next := st.skip - pin.Push + pin.Pop
+				for _, s := range r.Sources[st.node] {
+					work = append(work, state{s, next})
+				}
+				if len(r.Sources[st.node]) == 0 {
+					// The need reached the Anchor without resolution —
+					// the load-time validation error of Section 6.2.
+					return nil, fmt.Errorf(
+						"fabric: resolve %s: need from instruction %d side %d reached the anchor",
+						m.Signature(), c, side)
+				}
+			}
+			if len(producers) == 0 {
+				return nil, fmt.Errorf(
+					"fabric: resolve %s: instruction %d side %d found no producer",
+					m.Signature(), c, side)
+			}
+			if len(producers) > 1 {
+				r.Merges++
+			}
+		}
+		// Own needs buffered before forwarding anything from below.
+		r.QUp[c] += in.Pop
+	}
+
+	// Validation: every push must have found at least one consumer.
+	for i, in := range m.Code {
+		if in.Push > 0 && len(r.Targets[i]) == 0 {
+			return nil, fmt.Errorf(
+				"fabric: resolve %s: instruction %d (%s) pushes %d but has no consumers",
+				m.Signature(), i, in.Op, in.Push)
+		}
+		sort.Slice(r.Targets[i], func(a, b int) bool {
+			ta, tb := r.Targets[i][a], r.Targets[i][b]
+			if ta.Consumer != tb.Consumer {
+				return ta.Consumer < tb.Consumer
+			}
+			return ta.Side < tb.Side
+		})
+	}
+
+	for _, q := range r.QUp {
+		if q > r.MaxQUp {
+			r.MaxQUp = q
+		}
+	}
+	// Both passes traverse the full serial loop; branch sources add one
+	// explicit message each.
+	r.Cycles = 2*n + branchMessages
+	return r, nil
+}
+
+// FanOut returns instruction i's consumer count.
+func (r *Resolution) FanOut(i int) int { return len(r.Targets[i]) }

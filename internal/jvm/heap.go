@@ -1,0 +1,117 @@
+package jvm
+
+import "fmt"
+
+// Object is a heap allocation: either a class instance with field slots or
+// an array. (Figure 10: the Heap houses object instantiations of Classes.)
+type Object struct {
+	Class   string
+	Fields  []Value
+	Array   []Value
+	IsArray bool
+}
+
+// Heap is the JVM heap. Handle 0 is reserved for null.
+type Heap struct {
+	objects []*Object
+}
+
+// NewHeap returns an empty heap with the null handle reserved.
+func NewHeap() *Heap {
+	return &Heap{objects: make([]*Object, 1)}
+}
+
+// Reset discards all allocations (a whole-heap garbage collection, used
+// between benchmark iterations).
+func (h *Heap) Reset() { h.objects = h.objects[:1] }
+
+// Size returns the number of live allocations.
+func (h *Heap) Size() int { return len(h.objects) - 1 }
+
+// AllocObject allocates an instance of class with n field slots.
+func (h *Heap) AllocObject(class string, n int) Value {
+	h.objects = append(h.objects, &Object{Class: class, Fields: make([]Value, n)})
+	return Ref(int64(len(h.objects) - 1))
+}
+
+// AllocArray allocates an array of length n (elements zero-initialized to
+// elemZero, which fixes the element kind).
+func (h *Heap) AllocArray(n int, elemZero Value) (Value, error) {
+	if n < 0 {
+		return Null, &ThrownError{Exception: "NegativeArraySizeException", Detail: fmt.Sprint(n)}
+	}
+	arr := make([]Value, n)
+	for i := range arr {
+		arr[i] = elemZero
+	}
+	h.objects = append(h.objects, &Object{Class: "[]", Array: arr, IsArray: true})
+	return Ref(int64(len(h.objects) - 1)), nil
+}
+
+// Get dereferences a handle.
+func (h *Heap) Get(ref Value) (*Object, error) {
+	if ref.K != KindRef {
+		return nil, fmt.Errorf("jvm: dereferencing non-reference %s", ref)
+	}
+	if ref.I == 0 {
+		return nil, &ThrownError{Exception: "NullPointerException"}
+	}
+	if ref.I < 0 || ref.I >= int64(len(h.objects)) {
+		return nil, fmt.Errorf("jvm: dangling heap handle %d", ref.I)
+	}
+	return h.objects[ref.I], nil
+}
+
+// ArrayLoad reads arr[idx] with the architected bounds check.
+func (h *Heap) ArrayLoad(arrRef, idx Value) (Value, error) {
+	obj, err := h.Get(arrRef)
+	if err != nil {
+		return Value{}, err
+	}
+	if !obj.IsArray {
+		return Value{}, fmt.Errorf("jvm: array load on non-array %s", obj.Class)
+	}
+	i := idx.I
+	if i < 0 || i >= int64(len(obj.Array)) {
+		return Value{}, &ThrownError{
+			Exception: "ArrayIndexOutOfBoundsException",
+			Detail:    fmt.Sprintf("index %d, length %d", i, len(obj.Array)),
+		}
+	}
+	return obj.Array[i], nil
+}
+
+// ArrayStore writes arr[idx] = v with the architected bounds check.
+func (h *Heap) ArrayStore(arrRef, idx, v Value) error {
+	obj, err := h.Get(arrRef)
+	if err != nil {
+		return err
+	}
+	if !obj.IsArray {
+		return fmt.Errorf("jvm: array store on non-array %s", obj.Class)
+	}
+	i := idx.I
+	if i < 0 || i >= int64(len(obj.Array)) {
+		return &ThrownError{
+			Exception: "ArrayIndexOutOfBoundsException",
+			Detail:    fmt.Sprintf("index %d, length %d", i, len(obj.Array)),
+		}
+	}
+	obj.Array[i] = v
+	return nil
+}
+
+// ThrownError models a Java exception surfacing from execution; the fabric
+// delegates these to the General Purpose Processor (Section 6.3,
+// Exceptions).
+type ThrownError struct {
+	Exception string
+	Detail    string
+}
+
+func (e *ThrownError) Error() string {
+	if e.Detail == "" {
+		return "java exception: " + e.Exception
+	}
+	return "java exception: " + e.Exception + ": " + e.Detail
+}

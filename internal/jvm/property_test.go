@@ -1,0 +1,141 @@
+package jvm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"javaflow/internal/bytecode"
+	"javaflow/internal/classfile"
+)
+
+// Property: int arithmetic in the interpreter matches Go int32 semantics
+// (including overflow wraparound) for every operand pair.
+func TestInt32ArithmeticProperty(t *testing.T) {
+	vm := NewMachine()
+	ops := map[bytecode.Opcode]func(a, b int32) int32{
+		bytecode.Iadd: func(a, b int32) int32 { return a + b },
+		bytecode.Isub: func(a, b int32) int32 { return a - b },
+		bytecode.Imul: func(a, b int32) int32 { return a * b },
+		bytecode.Iand: func(a, b int32) int32 { return a & b },
+		bytecode.Ior:  func(a, b int32) int32 { return a | b },
+		bytecode.Ixor: func(a, b int32) int32 { return a ^ b },
+	}
+	for op, ref := range ops {
+		op, ref := op, ref
+		m := buildBin(t, vm, "p_"+op.String(), op)
+		f := func(a, b int32) bool {
+			got, err := vm.Invoke(m, Int(int64(a)), Int(int64(b)))
+			if err != nil {
+				return false
+			}
+			return got.I == int64(ref(a, b))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", op, err)
+		}
+	}
+}
+
+func buildBin(t *testing.T, vm *Machine, name string, op bytecode.Opcode) *classfile.Method {
+	t.Helper()
+	a := bytecode.NewAssembler()
+	a.ILoad(0).ILoad(1).Op(op).Op(bytecode.Ireturn)
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &classfile.Method{Name: name, Argc: 2, ReturnsValue: true,
+		MaxLocals: 2, Code: code, Pool: classfile.NewConstantPool()}
+	c := classfile.NewClass("P" + name)
+	c.Add(m)
+	if err := vm.Register(c); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Property: shift semantics mask the distance to 5 bits, as the JVM
+// architects.
+func TestShiftMaskingProperty(t *testing.T) {
+	vm := NewMachine()
+	m := buildBin(t, vm, "shl", bytecode.Ishl)
+	f := func(a int32, dist int32) bool {
+		got, err := vm.Invoke(m, Int(int64(a)), Int(int64(dist)))
+		if err != nil {
+			return false
+		}
+		return got.I == int64(a<<(uint(dist)&31))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: d2i saturates exactly like Java narrowing (NaN→0, ±∞→limits).
+func TestD2IProperty(t *testing.T) {
+	vm := NewMachine()
+	a := bytecode.NewAssembler()
+	a.DLoad(0).Op(bytecode.D2i).Op(bytecode.Ireturn)
+	code, _ := a.Finish()
+	m := &classfile.Method{Name: "d2i", Argc: 1, ReturnsValue: true,
+		MaxLocals: 1, Code: code, Pool: classfile.NewConstantPool()}
+	c := classfile.NewClass("PD2I")
+	c.Add(m)
+	if err := vm.Register(c); err != nil {
+		t.Fatal(err)
+	}
+	ref := func(v float64) int64 {
+		switch {
+		case math.IsNaN(v):
+			return 0
+		case v <= math.MinInt32:
+			return math.MinInt32
+		case v >= math.MaxInt32:
+			return math.MaxInt32
+		default:
+			return int64(v)
+		}
+	}
+	f := func(v float64) bool {
+		got, err := vm.Invoke(m, Double(v))
+		if err != nil {
+			return false
+		}
+		return got.I == ref(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Explicit edge cases quick rarely generates.
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 2147483647.9, -2147483648.9} {
+		got, err := vm.Invoke(m, Double(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.I != ref(v) {
+			t.Errorf("d2i(%v) = %d, want %d", v, got.I, ref(v))
+		}
+	}
+}
+
+// Property: the heap never hands out handle 0 and array bounds are
+// enforced for every index.
+func TestHeapBoundsProperty(t *testing.T) {
+	h := NewHeap()
+	ref, err := h.AllocArray(16, Int(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.I == 0 {
+		t.Fatal("allocated handle 0 (reserved for null)")
+	}
+	f := func(idx int16) bool {
+		_, err := h.ArrayLoad(ref, Int(int64(idx)))
+		inBounds := idx >= 0 && idx < 16
+		return (err == nil) == inBounds
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,823 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"javaflow/internal/bytecode"
+	"javaflow/internal/fabric"
+)
+
+// DefaultMaxMeshCycles bounds one method execution; methods that exceed it
+// are reported as timed out and filtered from results, as the dissertation
+// filtered endless-loop cases (Section 7.3, Simulation Structure).
+const DefaultMaxMeshCycles = 2_000_000
+
+// tokenKind identifies a member of the token bundle (Figure 23).
+type tokenKind uint8
+
+const (
+	tokHead tokenKind = iota
+	tokMemory
+	tokRegister
+	tokTail
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokHead:
+		return "HEAD"
+	case tokMemory:
+		return "MEMORY"
+	case tokRegister:
+		return "REGISTER"
+	default:
+		return "TAIL"
+	}
+}
+
+// token is one serial-bundle element in flight or held at a node.
+type token struct {
+	kind tokenKind
+	reg  int // register number for tokRegister
+}
+
+// serialMsg is a token travelling the ordered network.
+type serialMsg struct {
+	tok   token
+	to    int // destination instruction index
+	delay int // serial clocks remaining
+}
+
+// meshMsg is a producer→consumer operand transfer.
+type meshMsg struct {
+	to    int // consumer instruction index
+	delay int // mesh cycles remaining
+}
+
+// nodePhase tracks an Instruction Data Unit's execution lifecycle.
+type nodePhase uint8
+
+const (
+	phaseReady nodePhase = iota
+	phaseExecuting
+	phaseService // storage read or GPP service outstanding
+	phaseFired
+)
+
+// nodeState is the per-instruction Instruction Data Unit state (Figure 13).
+type nodeState struct {
+	phase        nodePhase
+	headSeen     bool
+	popsReceived int
+	memSeen      bool
+	regSeen      bool // matching REGISTER_TOKEN held (local read/inc)
+	held         []token
+	execLeft     int
+	serviceLeft  int
+	// decision caches the control-flow outcome chosen at fire time.
+	decisionTaken bool
+	firedOnce     bool // coverage accounting across loop iterations
+}
+
+// Result reports one simulated method execution.
+type Result struct {
+	Config     string
+	Signature  string
+	Policy     BranchPolicy
+	Fired      int // dynamic instructions executed
+	Distinct   int // distinct static sites fired (coverage numerator)
+	Static     int
+	MeshCycles int
+	// ParallelCycles counts mesh cycles with >= 2 nodes in their
+	// execution phase (service time excluded, as in Table 26).
+	ParallelCycles int
+	// BusyCycles counts mesh cycles with >= 1 node executing.
+	BusyCycles int
+	MaxNode    int
+	TimedOut   bool
+}
+
+// IPC is instructions per mesh cycle.
+func (r Result) IPC() float64 {
+	if r.MeshCycles == 0 {
+		return 0
+	}
+	return float64(r.Fired) / float64(r.MeshCycles)
+}
+
+// Coverage is the fraction of static instructions that fired (Table 18).
+func (r Result) Coverage() float64 {
+	if r.Static == 0 {
+		return 0
+	}
+	return float64(r.Distinct) / float64(r.Static)
+}
+
+// Parallelism is the fraction of mesh cycles with two or more instructions
+// executing (Table 26).
+func (r Result) Parallelism() float64 {
+	if r.MeshCycles == 0 {
+		return 0
+	}
+	return float64(r.ParallelCycles) / float64(r.MeshCycles)
+}
+
+// Engine simulates one method execution on one configuration.
+type Engine struct {
+	cfg        Config
+	placement  *fabric.Placement
+	resolution *fabric.Resolution
+	predictor  *Predictor
+
+	nodes   []nodeState
+	serialQ []serialMsg
+	meshQ   []meshMsg
+
+	maxCycles int
+	fired     int
+	finished  bool
+
+	// Quiesce models the QUIESE_TOKEN / RESETADDRESS_TOKEN flow
+	// (Section 6.2 "Management and Cleanup", Section 6.4): at
+	// quiesceAt the GPP halts the fabric for quiesceFor mesh cycles
+	// (e.g. a garbage collection re-deriving heap pointers), after which
+	// execution resumes with all in-fabric state intact.
+	quiesceAt  int
+	quiesceFor int
+
+	// foldTransfers enables the Section 6.4 folding enhancement upper
+	// bound: pure data-transfer nodes (register reads and stack moves)
+	// "declare themselves void" — they fire in zero execution cycles and
+	// are not counted as executed instructions, modelling their
+	// elimination after the linkage process.
+	foldTransfers bool
+}
+
+// NewEngine prepares an execution. The placement must come from the same
+// fabric as cfg.
+func NewEngine(cfg Config, res *fabric.Resolution, policy BranchPolicy) *Engine {
+	return &Engine{
+		cfg:        cfg,
+		placement:  res.Placement,
+		resolution: res,
+		predictor:  NewPredictor(policy),
+		nodes:      make([]nodeState, len(res.Placement.Method.Code)),
+		maxCycles:  DefaultMaxMeshCycles,
+	}
+}
+
+// SetMaxCycles overrides the timeout bound.
+func (e *Engine) SetMaxCycles(n int) { e.maxCycles = n }
+
+// ScheduleQuiesce arranges a fabric-wide stall of the given duration
+// starting at the given mesh cycle — the QUIESE_TOKEN mechanism a garbage
+// collection would use before RESETADDRESS_TOKEN re-derives memory
+// pointers. Execution state is preserved across the stall.
+func (e *Engine) ScheduleQuiesce(atCycle, duration int) {
+	e.quiesceAt = atCycle
+	e.quiesceFor = duration
+}
+
+// EnableFolding turns on the Section 6.4 folding-enhancement model.
+func (e *Engine) EnableFolding() { e.foldTransfers = true }
+
+// foldable reports whether instruction i is a pure data transfer the
+// folding enhancement eliminates.
+func (e *Engine) foldable(i int) bool {
+	if !e.foldTransfers {
+		return false
+	}
+	switch e.code(i).Group() {
+	case bytecode.GroupLocalRead, bytecode.GroupMove:
+		return true
+	}
+	return false
+}
+
+func (e *Engine) code(i int) bytecode.Instruction {
+	return e.placement.Method.Code[i]
+}
+
+func (e *Engine) serialDist(from, to int) int {
+	return e.cfg.Fabric.SerialDistance(e.placement.NodeOf[from], e.placement.NodeOf[to])
+}
+
+func (e *Engine) meshDist(from, to int) int {
+	return e.cfg.Fabric.MeshDistance(e.placement.NodeOf[from], e.placement.NodeOf[to])
+}
+
+// isControl reports whether instruction i buffers the token bundle until it
+// fires (Section 6.3, Control Flow Operations). Calls pass tokens through
+// (only TAIL is buffered), so they are not control for buffering purposes.
+func (e *Engine) isControl(i int) bool {
+	switch e.code(i).Group() {
+	case bytecode.GroupControl, bytecode.GroupReturn:
+		return true
+	}
+	return false
+}
+
+// isOrderedStorage reports whether instruction i participates in
+// MEMORY_TOKEN ordering: array and field accesses, but not constant-pool
+// loads ("unordered constant access to the Method Area").
+func (e *Engine) isOrderedStorage(i int) bool {
+	switch e.code(i).Group() {
+	case bytecode.GroupMemRead, bytecode.GroupMemWrite:
+		return true
+	}
+	return false
+}
+
+// Run simulates the method to completion (a Return fires) or timeout.
+func (e *Engine) Run() (Result, error) {
+	m := e.placement.Method
+	res := Result{
+		Config:    e.cfg.Name,
+		Signature: m.Signature(),
+		Static:    len(m.Code),
+		MaxNode:   e.placement.MaxNode,
+	}
+
+	// Inject the token bundle at instruction 0, staggered one serial
+	// clock apart: HEAD, MEMORY, one REGISTER per local, TAIL
+	// (Figure 23).
+	delay := 1
+	e.serialQ = append(e.serialQ, serialMsg{token{kind: tokHead}, 0, delay})
+	delay++
+	e.serialQ = append(e.serialQ, serialMsg{token{kind: tokMemory}, 0, delay})
+	delay++
+	for r := 0; r < m.MaxLocals; r++ {
+		e.serialQ = append(e.serialQ, serialMsg{token{kind: tokRegister, reg: r}, 0, delay})
+		delay++
+	}
+	e.serialQ = append(e.serialQ, serialMsg{token{kind: tokTail}, 0, delay})
+
+	for cycle := 0; ; cycle++ {
+		if cycle >= e.maxCycles {
+			res.MeshCycles = cycle
+			res.Fired = e.fired
+			res.TimedOut = true
+			e.fillCoverage(&res)
+			return res, nil
+		}
+
+		// Quiesced fabric: the whole chip stalls while the GPP performs
+		// its management task; nothing moves, cycles still elapse.
+		if e.quiesceFor > 0 && cycle >= e.quiesceAt && cycle < e.quiesceAt+e.quiesceFor {
+			continue
+		}
+
+		// --- Serial phase: up to SerialPerMesh serial clocks (or drain
+		// for the Baseline rule). ---
+		budget := e.cfg.SerialPerMesh
+		for s := 0; budget == DrainSerial || s < budget; s++ {
+			e.releasePendingTails()
+			if len(e.serialQ) == 0 {
+				break
+			}
+			e.serialClock()
+		}
+		e.releasePendingTails()
+
+		// --- Mesh phase: one mesh clock. ---
+		executing := e.meshClock()
+		e.releasePendingTails()
+		if executing >= 1 {
+			res.BusyCycles++
+		}
+		if executing >= 2 {
+			res.ParallelCycles++
+		}
+
+		if e.finished {
+			res.MeshCycles = cycle + 1
+			res.Fired = e.fired
+			e.fillCoverage(&res)
+			return res, nil
+		}
+		if len(e.serialQ) == 0 && len(e.meshQ) == 0 && !e.anyInFlight() {
+			return res, fmt.Errorf("sim: %s stalled on %s at mesh cycle %d",
+				m.Signature(), e.cfg.Name, cycle)
+		}
+	}
+}
+
+func (e *Engine) fillCoverage(res *Result) {
+	for i := range e.nodes {
+		if e.nodes[i].firedOnce {
+			res.Distinct++
+		}
+	}
+}
+
+func (e *Engine) anyInFlight() bool {
+	for i := range e.nodes {
+		switch e.nodes[i].phase {
+		case phaseExecuting, phaseService:
+			return true
+		}
+	}
+	return false
+}
+
+// serialClock advances every in-flight serial message one clock and
+// processes arrivals.
+func (e *Engine) serialClock() {
+	var arrivals []serialMsg
+	keep := e.serialQ[:0]
+	for _, msg := range e.serialQ {
+		msg.delay--
+		if msg.delay <= 0 {
+			arrivals = append(arrivals, msg)
+		} else {
+			keep = append(keep, msg)
+		}
+	}
+	e.serialQ = keep
+	// Deterministic processing order: by destination, then token kind.
+	sort.SliceStable(arrivals, func(i, j int) bool {
+		if arrivals[i].to != arrivals[j].to {
+			return arrivals[i].to < arrivals[j].to
+		}
+		return arrivals[i].tok.kind < arrivals[j].tok.kind
+	})
+	for _, msg := range arrivals {
+		e.tokenArrives(msg.tok, msg.to)
+	}
+}
+
+// tokenArrives applies the Section 6.3 per-group token rules at node i.
+func (e *Engine) tokenArrives(tok token, i int) {
+	n := &e.nodes[i]
+	in := e.code(i)
+
+	// TAIL always parks; the rearmost sweep moves it on.
+	if tok.kind == tokTail {
+		n.held = append(n.held, tok)
+		e.checkFire(i)
+		return
+	}
+
+	// Control-flow nodes buffer every token until they fire; after a
+	// backward-taken decision they keep buffering until TAIL. Tokens
+	// trailing in after a forward/fall-through decision are routed
+	// directly along the decided path.
+	if e.isControl(i) {
+		if n.phase == phaseFired && (!in.IsBranch() || !n.decisionTaken || in.Target > i) {
+			switch {
+			case in.IsBranch() && n.decisionTaken && in.Target > i:
+				e.forwardTokenTo(tok, i, in.Target, 0)
+			default:
+				e.forwardToken(tok, i)
+			}
+			return
+		}
+		if tok.kind == tokHead {
+			n.headSeen = true
+		}
+		n.held = append(n.held, tok)
+		e.checkFire(i)
+		return
+	}
+
+	switch tok.kind {
+	case tokHead:
+		n.headSeen = true
+		e.forwardToken(tok, i)
+		e.checkFire(i)
+
+	case tokMemory:
+		if e.isOrderedStorage(i) && n.phase == phaseReady {
+			n.memSeen = true
+			n.held = append(n.held, tok)
+			e.checkFire(i)
+			return
+		}
+		e.forwardToken(tok, i)
+
+	case tokRegister:
+		reg, isLocal := in.LocalIndex()
+		if isLocal && reg == tok.reg {
+			switch in.Group() {
+			case bytecode.GroupLocalRead, bytecode.GroupLocalInc:
+				if n.phase == phaseReady {
+					n.regSeen = true
+					n.held = append(n.held, tok)
+					e.checkFire(i)
+					return
+				}
+				// Re-execution after a loop reset re-arms below; a
+				// token reaching a fired node passes through.
+				e.forwardToken(tok, i)
+			case bytecode.GroupLocalWrite:
+				// The write kills the incoming value; its own fire
+				// emits the replacement token.
+				return
+			default:
+				e.forwardToken(tok, i)
+			}
+			return
+		}
+		e.forwardToken(tok, i)
+
+	}
+}
+
+// tailIsRearmost reports whether no other live token is behind or at node
+// i — the global "TAIL_TOKEN may never pass any other token" invariant.
+func (e *Engine) tailIsRearmost(i int) bool {
+	for _, msg := range e.serialQ {
+		if msg.tok.kind != tokTail && msg.to <= i {
+			return false
+		}
+	}
+	for k := 0; k <= i; k++ {
+		for _, t := range e.nodes[k].held {
+			if t.kind != tokTail {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// releasePendingTails advances a parked TAIL_TOKEN when its node has fired
+// and the token is globally rearmost. Backward-taken jumps instead trigger
+// the bundle transport.
+func (e *Engine) releasePendingTails() {
+	for i := range e.nodes {
+		n := &e.nodes[i]
+		if n.phase != phaseFired || !e.holdsTail(i) {
+			continue
+		}
+		in := e.code(i)
+		if e.isControl(i) && in.IsBranch() && n.decisionTaken && in.Target <= i {
+			e.maybeCompleteBackward(i)
+			continue
+		}
+		if e.code(i).IsReturn() {
+			continue // consumed by the return
+		}
+		if !e.tailIsRearmost(i) {
+			continue
+		}
+		e.removeTail(i)
+		if e.isControl(i) && in.IsBranch() && n.decisionTaken && in.Target > i {
+			e.forwardTokenTo(token{kind: tokTail}, i, in.Target, 0)
+		} else {
+			e.forwardToken(token{kind: tokTail}, i)
+		}
+	}
+}
+
+// removeTail drops the parked TAIL from node i's buffer.
+func (e *Engine) removeTail(i int) {
+	n := &e.nodes[i]
+	for k, t := range n.held {
+		if t.kind == tokTail {
+			n.held = append(n.held[:k], n.held[k+1:]...)
+			return
+		}
+	}
+}
+
+// forwardToken schedules tok from node i to the next instruction in linear
+// order (one serial hop per physical node).
+func (e *Engine) forwardToken(tok token, i int) {
+	next := i + 1
+	if next >= len(e.nodes) {
+		return // fell off the method end (only returns should consume TAIL)
+	}
+	e.serialQ = append(e.serialQ, serialMsg{tok, next, e.serialDist(i, next)})
+}
+
+// forwardTokenTo schedules tok with an explicit target (taken branches);
+// intervening nodes ignore explicitly addressed messages.
+func (e *Engine) forwardTokenTo(tok token, from, to, stagger int) {
+	e.serialQ = append(e.serialQ, serialMsg{tok, to, e.serialDist(from, to) + stagger})
+}
+
+// meshDeliver processes an operand arrival.
+func (e *Engine) meshDeliver(msg meshMsg) {
+	n := &e.nodes[msg.to]
+	n.popsReceived++
+	e.checkFire(msg.to)
+}
+
+// checkFire applies the firing rules and begins execution when satisfied.
+func (e *Engine) checkFire(i int) {
+	n := &e.nodes[i]
+	if n.phase != phaseReady {
+		return
+	}
+	in := e.code(i)
+
+	switch in.Group() {
+	case bytecode.GroupLocalRead, bytecode.GroupLocalInc:
+		if !n.headSeen || !n.regSeen {
+			return
+		}
+	case bytecode.GroupMemRead, bytecode.GroupMemWrite:
+		if !n.headSeen || !n.memSeen || n.popsReceived < in.Pop {
+			return
+		}
+	case bytecode.GroupReturn:
+		if !n.headSeen || n.popsReceived < in.Pop || !e.holdsTail(i) {
+			return
+		}
+	case bytecode.GroupControl:
+		if !n.headSeen || n.popsReceived < in.Pop {
+			return
+		}
+		// Decide direction now; a backward-taken jump additionally
+		// needs TAIL before the bundle moves (handled at completion).
+		taken := false
+		switch {
+		case in.Op == bytecode.Goto || in.Op == bytecode.GotoW:
+			taken = true
+		case in.Target > i:
+			taken = e.predictor.Forward(i)
+		default:
+			taken = e.predictor.Backward(i)
+		}
+		n.decisionTaken = taken
+	default:
+		if !n.headSeen || n.popsReceived < in.Pop {
+			return
+		}
+	}
+
+	n.phase = phaseExecuting
+	n.execLeft = ExecCycles(in.Group())
+	if in.Group() == bytecode.GroupCall {
+		// invoke round trip through the GPP
+		n.execLeft += GPPServiceCycles
+	}
+	if in.Group() == bytecode.GroupSpecial {
+		n.execLeft += GPPServiceCycles
+	}
+	if e.foldable(i) {
+		// Folded transfers are free: complete immediately without
+		// occupying an execution cycle.
+		e.completeExecution(i)
+	}
+}
+
+// holdsTail reports whether node i currently buffers the TAIL_TOKEN.
+func (e *Engine) holdsTail(i int) bool {
+	for _, t := range e.nodes[i].held {
+		if t.kind == tokTail {
+			return true
+		}
+	}
+	return false
+}
+
+// meshClock advances mesh messages, execution and service phases; returns
+// the number of nodes that were in their execution phase this cycle.
+func (e *Engine) meshClock() int {
+	// Operand deliveries.
+	var deliver []meshMsg
+	keep := e.meshQ[:0]
+	for _, msg := range e.meshQ {
+		msg.delay--
+		if msg.delay <= 0 {
+			deliver = append(deliver, msg)
+		} else {
+			keep = append(keep, msg)
+		}
+	}
+	e.meshQ = keep
+	sort.SliceStable(deliver, func(i, j int) bool { return deliver[i].to < deliver[j].to })
+	for _, msg := range deliver {
+		e.meshDeliver(msg)
+	}
+
+	// Execution and service progress.
+	executing := 0
+	for i := range e.nodes {
+		n := &e.nodes[i]
+		switch n.phase {
+		case phaseExecuting:
+			executing++
+			n.execLeft--
+			if n.execLeft <= 0 {
+				e.completeExecution(i)
+			}
+		case phaseService:
+			n.serviceLeft--
+			if n.serviceLeft <= 0 {
+				e.completeService(i)
+			}
+		}
+	}
+	return executing
+}
+
+// completeExecution finishes the execution phase: storage reads transition
+// to their service wait; everything else fires.
+func (e *Engine) completeExecution(i int) {
+	n := &e.nodes[i]
+	in := e.code(i)
+	if in.Group() == bytecode.GroupMemRead {
+		// "the node must remain in the 'waitingForService' state until
+		// the memory system returns the result."
+		n.phase = phaseService
+		n.serviceLeft = MemoryServiceCycles
+		// The MEMORY_TOKEN (order number assigned) moves on immediately.
+		e.releaseMemoryToken(i)
+		return
+	}
+	if in.Group() == bytecode.GroupMemWrite {
+		// Writes post: the service message is sent and processing
+		// continues.
+		e.releaseMemoryToken(i)
+	}
+	e.fireNode(i)
+}
+
+// completeService fires a storage read once memory responds.
+func (e *Engine) completeService(i int) {
+	e.fireNode(i)
+}
+
+// releaseMemoryToken forwards a held MEMORY_TOKEN down the network.
+func (e *Engine) releaseMemoryToken(i int) {
+	n := &e.nodes[i]
+	for k, t := range n.held {
+		if t.kind == tokMemory {
+			n.held = append(n.held[:k], n.held[k+1:]...)
+			e.forwardToken(t, i)
+			return
+		}
+	}
+}
+
+// fireNode marks instruction i fired, emits its operand transfers, and
+// releases buffered tokens according to its group.
+func (e *Engine) fireNode(i int) {
+	n := &e.nodes[i]
+	in := e.code(i)
+	n.phase = phaseFired
+	n.firedOnce = true
+	if !e.foldable(i) {
+		e.fired++
+	}
+
+	// Operand emission to every resolved consumer.
+	if in.Push > 0 {
+		for _, tg := range e.resolution.Targets[i] {
+			e.meshQ = append(e.meshQ, meshMsg{to: tg.Consumer, delay: e.meshDist(i, tg.Consumer)})
+		}
+	}
+
+	switch in.Group() {
+	case bytecode.GroupReturn:
+		e.finished = true
+		return
+
+	case bytecode.GroupLocalRead, bytecode.GroupLocalInc:
+		// Forward the held REGISTER_TOKEN (reads preserve it; the
+		// increment re-emits the updated value). A parked TAIL stays
+		// for the rearmost sweep.
+		e.releaseHeld(i)
+		return
+
+	case bytecode.GroupLocalWrite:
+		// Emit the replacement REGISTER_TOKEN.
+		reg, _ := in.LocalIndex()
+		e.forwardToken(token{kind: tokRegister, reg: reg}, i)
+		e.releaseHeld(i)
+		return
+
+	case bytecode.GroupControl:
+		e.completeControl(i)
+		return
+
+	default:
+		e.releaseHeld(i)
+	}
+}
+
+// forwardTokenStagger forwards with incrementing extra delay so released
+// tokens depart one serial clock apart.
+func (e *Engine) forwardTokenStagger(t token, i int, stagger *int) {
+	next := i + 1
+	if next >= len(e.nodes) {
+		return
+	}
+	e.serialQ = append(e.serialQ, serialMsg{t, next, e.serialDist(i, next) + *stagger})
+	*stagger++
+}
+
+// releaseHeld forwards all buffered tokens in kind order; a parked TAIL
+// stays behind for the rearmost sweep.
+func (e *Engine) releaseHeld(i int) {
+	n := &e.nodes[i]
+	sort.SliceStable(n.held, func(a, b int) bool { return n.held[a].kind < n.held[b].kind })
+	stagger := 0
+	var tail []token
+	for _, t := range n.held {
+		if t.kind == tokTail {
+			tail = append(tail, t)
+			continue
+		}
+		e.forwardTokenStagger(t, i, &stagger)
+	}
+	n.held = tail
+}
+
+// completeControl routes the buffered bundle after a control node fires.
+func (e *Engine) completeControl(i int) {
+	n := &e.nodes[i]
+	in := e.code(i)
+	target := in.Target
+
+	switch {
+	case !in.IsBranch() || !n.decisionTaken:
+		// Calls and not-taken jumps fall through.
+		e.releaseHeld(i)
+	case target > i:
+		// Forward taken: explicit addressing to the target; a parked
+		// TAIL follows via the sweep.
+		sort.SliceStable(n.held, func(a, b int) bool { return n.held[a].kind < n.held[b].kind })
+		stagger := 0
+		var tail []token
+		for _, t := range n.held {
+			if t.kind == tokTail {
+				tail = append(tail, t)
+				continue
+			}
+			e.forwardTokenTo(t, i, target, stagger)
+			stagger++
+		}
+		n.held = tail
+	default:
+		// Backward taken: keep buffering until TAIL arrives, then move
+		// the whole bundle up the reverse network.
+		e.maybeCompleteBackward(i)
+	}
+}
+
+// maybeCompleteBackward transports the bundle up the reverse network once a
+// fired backward-taken jump holds the TAIL_TOKEN, resetting every
+// instruction in the loop span to the ready state (Section 6.3: "each
+// instruction from the same thread/class/method must also reset").
+func (e *Engine) maybeCompleteBackward(i int) {
+	n := &e.nodes[i]
+	in := e.code(i)
+	if n.phase != phaseFired || !n.decisionTaken {
+		return
+	}
+	if !in.IsBranch() || in.Target > i {
+		return
+	}
+	if !e.holdsTail(i) {
+		return
+	}
+	// The transport may only move a complete bundle: nothing still in
+	// flight toward the jump and nothing buffered behind it.
+	for _, msg := range e.serialQ {
+		if msg.to <= i {
+			return
+		}
+	}
+	for k := 0; k < i; k++ {
+		if len(e.nodes[k].held) > 0 {
+			return
+		}
+	}
+	target := in.Target
+	bundle := n.held
+	n.held = nil
+
+	// Reset the loop span (including this jump, which will re-execute).
+	for k := target; k <= i; k++ {
+		e.nodes[k] = nodeState{firedOnce: e.nodes[k].firedOnce, held: e.nodes[k].held}
+	}
+
+	// Re-inject the bundle at the loop head, one serial clock apart, after
+	// the reverse transit.
+	dist := e.serialDist(i, target)
+	sort.SliceStable(bundle, func(a, b int) bool { return bundle[a].kind < bundle[b].kind })
+	stagger := 0
+	for _, t := range bundle {
+		e.serialQ = append(e.serialQ, serialMsg{t, target, dist + stagger})
+		stagger++
+	}
+}
+
+// DebugState renders node phases and pending queues for stall diagnosis.
+func (e *Engine) DebugState() string {
+	out := fmt.Sprintf("serialQ=%d meshQ=%d\n", len(e.serialQ), len(e.meshQ))
+	for i := range e.nodes {
+		n := &e.nodes[i]
+		if n.phase == phaseReady && len(n.held) == 0 && !n.headSeen && n.popsReceived == 0 {
+			continue
+		}
+		out += fmt.Sprintf("node %3d %-24s phase=%d head=%v pops=%d mem=%v reg=%v held=%d dec=%v\n",
+			i, e.code(i).String(), n.phase, n.headSeen, n.popsReceived, n.memSeen, n.regSeen, len(n.held), n.decisionTaken)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"javaflow/internal/classfile"
+	"javaflow/internal/workload"
+)
+
+// TestFoMShapePreview prints the Figure-of-Merit profile across all six
+// configurations on a mixed corpus sample (manual inspection aid).
+func TestFoMShapePreview(t *testing.T) {
+	if testing.Short() {
+		t.Skip("preview only")
+	}
+	methods := workload.NamedMethods()
+	for _, c := range workload.Generate(workload.GenConfig{Seed: 99, Count: 120}) {
+		for _, m := range c.Methods {
+			methods = append(methods, m)
+		}
+	}
+	runner := &Runner{MaxMeshCycles: 300_000}
+	var baseline *ConfigResults
+	for _, cfg := range Configurations() {
+		cr, err := runner.RunAll(cfg, methods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Name == "Baseline" {
+			baseline = cr
+		}
+		fom := cr.FoMAgainst(baseline)
+		sum := cr.IPCSummary()
+		fmt.Printf("%-10s n=%3d skip=%d timeout=%d IPCmean=%.3f IPCmed=%.3f FoM=%.3f±%.3f par=%.2f ratio=%.2f\n",
+			cfg.Name, len(cr.Runs), cr.Skipped, cr.TimedOut,
+			sum.Mean, sum.Median, fom.Mean, fom.StdDev,
+			cr.ParallelismMean(), cr.RatioSummary().Mean)
+	}
+	_ = classfile.Method{}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+
+	"javaflow/internal/bytecode"
+	"javaflow/internal/workload"
+)
+
+// The executed path depends only on the branch policy, never on machine
+// timing: for a given method and policy, the dynamic instruction count must
+// be identical on every configuration. This is the invariant that makes the
+// Figure-of-Merit comparison meaningful (same work, different cycles).
+func TestFiredCountInvariantAcrossConfigs(t *testing.T) {
+	methods := workload.NamedMethods()
+	for _, c := range workload.Generate(workload.GenConfig{Seed: 77, Count: 80}) {
+		for _, m := range c.Methods {
+			methods = append(methods, m)
+		}
+	}
+	runner := &Runner{MaxMeshCycles: 300_000}
+	type key struct {
+		sig    string
+		policy BranchPolicy
+	}
+	fired := make(map[key]int)
+	first := make(map[string]string) // sig -> config that set the count
+
+	for _, cfg := range Configurations() {
+		for _, m := range methods {
+			run, err := runner.RunMethod(cfg, m)
+			if err != nil {
+				continue // ineligible for the fabric
+			}
+			if run.BP1.TimedOut || run.BP2.TimedOut {
+				continue
+			}
+			for _, r := range []Result{run.BP1, run.BP2} {
+				k := key{r.Signature, r.Policy}
+				if prev, seen := fired[k]; seen {
+					if prev != r.Fired {
+						t.Fatalf("%s %v: fired %d on %s but %d on %s",
+							r.Signature, r.Policy, r.Fired, cfg.Name, prev, first[r.Signature])
+					}
+				} else {
+					fired[k] = r.Fired
+					first[r.Signature] = cfg.Name
+				}
+			}
+		}
+	}
+	if len(fired) < 100 {
+		t.Fatalf("only %d (method,policy) pairs checked", len(fired))
+	}
+}
+
+// Coverage can never exceed 1 and fired counts never fall below the
+// distinct-site count.
+func TestResultSanityOverCorpus(t *testing.T) {
+	methods := workload.NamedMethods()
+	runner := &Runner{MaxMeshCycles: 300_000}
+	cfg := configByName(t, "Compact4")
+	for _, m := range methods {
+		run, err := runner.RunMethod(cfg, m)
+		if err != nil {
+			continue
+		}
+		for _, r := range []Result{run.BP1, run.BP2} {
+			if r.Coverage() > 1.0 {
+				t.Errorf("%s: coverage %v > 1", r.Signature, r.Coverage())
+			}
+			if r.Fired < r.Distinct {
+				t.Errorf("%s: fired %d < distinct %d", r.Signature, r.Fired, r.Distinct)
+			}
+			if r.ParallelCycles > r.BusyCycles {
+				t.Errorf("%s: parallel cycles exceed busy cycles", r.Signature)
+			}
+			if r.BusyCycles > r.MeshCycles {
+				t.Errorf("%s: busy cycles exceed total cycles", r.Signature)
+			}
+		}
+	}
+}
+
+// An unconditional self-loop never reaches a Return: the engine must report
+// a timeout (the dissertation filtered such endless-loop methods), not hang
+// or stall-error.
+func TestEndlessLoopTimesOut(t *testing.T) {
+	// A truly endless goto loop cannot verify (the return would be
+	// unreachable), and a conditional back jump always exits under the
+	// 90% predictor — so the paper's timeout cases are loops whose work
+	// simply exceeds the cycle budget. Triple-nested 10-iteration loops
+	// give 10³ body executions.
+	deep := buildTestMethod(t, 4, func(a *bytecode.Assembler) {
+		a.PushInt(0).IStore(1).
+			Label("l1").
+			PushInt(0).IStore(2).
+			Label("l2").
+			PushInt(0).IStore(3).
+			Label("l3").
+			Iinc(3, 1).
+			ILoad(0).Branch(bytecode.Ifne, "l3").
+			Iinc(2, 1).
+			ILoad(0).Branch(bytecode.Ifne, "l2").
+			Iinc(1, 1).
+			ILoad(0).Branch(bytecode.Ifne, "l1").
+			Op(bytecode.Return)
+	})
+	cfg := configByName(t, "Baseline")
+	loaderRun := func(maxCycles int) Result {
+		runner := &Runner{MaxMeshCycles: maxCycles}
+		run, err := runner.RunMethod(cfg, deep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run.BP1
+	}
+	// With a tiny budget the triple loop (10^3 iterations) cannot finish.
+	r := loaderRun(200)
+	if !r.TimedOut {
+		t.Fatalf("expected timeout with 200-cycle budget, finished in %d", r.MeshCycles)
+	}
+	// With a generous budget it completes.
+	r = loaderRun(1_000_000)
+	if r.TimedOut {
+		t.Fatal("triple loop should finish within a million cycles")
+	}
+}
+
+// Serial clock ratio is monotone: more serial clocks per mesh clock can
+// only help (or tie) on the same fabric.
+func TestSerialBudgetMonotonicity(t *testing.T) {
+	m := methodBySignature(t, "gnu/java/security/hash/Sha160.sha/2")
+	base := configByName(t, "Compact2").Fabric
+	prev := -1.0
+	for _, serial := range []int{1, 2, 4, 10, 25} {
+		cfg := Config{Name: "sweep", Fabric: base, SerialPerMesh: serial}
+		runner := &Runner{MaxMeshCycles: 400_000}
+		run, err := runner.RunMethod(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipc := run.MeanIPC()
+		if prev > 0 && ipc < prev-1e-9 {
+			t.Errorf("serial=%d IPC %.4f dropped below previous %.4f", serial, ipc, prev)
+		}
+		prev = ipc
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+
+	"javaflow/internal/fabric"
+	"javaflow/internal/workload"
+)
+
+// A quiesce window (the GC mechanism of Sections 6.2/6.4) must stall the
+// fabric for exactly its duration and leave the computation unchanged.
+func TestQuiescePreservesExecution(t *testing.T) {
+	m := methodBySignature(t, "scimark/utils/Random.nextDouble/0")
+	cfg := configByName(t, "Compact4")
+	loader := &fabric.Loader{Fabric: cfg.Fabric}
+	p, err := loader.Load(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fabric.Resolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := NewEngine(cfg, res, BP1)
+	base, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const pause = 40
+	quiesced := NewEngine(cfg, res, BP1)
+	quiesced.ScheduleQuiesce(base.MeshCycles/2, pause)
+	got, err := quiesced.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Fired != base.Fired {
+		t.Errorf("quiesce changed work: fired %d vs %d", got.Fired, base.Fired)
+	}
+	if got.Distinct != base.Distinct {
+		t.Errorf("quiesce changed coverage: %d vs %d", got.Distinct, base.Distinct)
+	}
+	if got.MeshCycles != base.MeshCycles+pause {
+		t.Errorf("quiesced run took %d cycles, want %d+%d", got.MeshCycles, base.MeshCycles, pause)
+	}
+}
+
+// A quiesce scheduled after completion has no effect.
+func TestQuiesceAfterCompletionIsNoop(t *testing.T) {
+	m := methodBySignature(t, "scimark/utils/Random.nextDouble/0")
+	cfg := configByName(t, "Baseline")
+	loader := &fabric.Loader{Fabric: cfg.Fabric}
+	p, _ := loader.Load(m)
+	res, err := fabric.Resolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := NewEngine(cfg, res, BP2)
+	base, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := NewEngine(cfg, res, BP2)
+	late.ScheduleQuiesce(base.MeshCycles+100, 500)
+	got, err := late.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MeshCycles != base.MeshCycles || got.Fired != base.Fired {
+		t.Errorf("late quiesce changed the run: %+v vs %+v", got, base)
+	}
+}
+
+// Ensure the workload import stays (methodBySignature helper lives in
+// engine_test.go and draws from the named corpus).
+var _ = workload.NamedMethods
+
+// Folding (Section 6.4's enhancement) must never slow a method down and
+// must preserve the executed path.
+func TestFoldingNeverSlowsDown(t *testing.T) {
+	cfg := configByName(t, "Hetero2")
+	loader := &fabric.Loader{Fabric: cfg.Fabric}
+	for _, m := range workload.NamedMethods() {
+		p, err := loader.Load(m)
+		if err != nil {
+			continue
+		}
+		res, err := fabric.Resolve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := NewEngine(cfg, res, BP1)
+		pr, err := plain.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		folded := NewEngine(cfg, res, BP1)
+		folded.EnableFolding()
+		fr, err := folded.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.MeshCycles > pr.MeshCycles {
+			t.Errorf("%s: folding slowed execution: %d > %d cycles",
+				m.Signature(), fr.MeshCycles, pr.MeshCycles)
+		}
+		if fr.Distinct != pr.Distinct {
+			t.Errorf("%s: folding changed coverage: %d vs %d",
+				m.Signature(), fr.Distinct, pr.Distinct)
+		}
+		if fr.Fired > pr.Fired {
+			t.Errorf("%s: folded work count %d exceeds unfolded %d",
+				m.Signature(), fr.Fired, pr.Fired)
+		}
+	}
+}

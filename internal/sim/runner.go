@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"fmt"
+
+	"javaflow/internal/classfile"
+	"javaflow/internal/fabric"
+	"javaflow/internal/stats"
+)
+
+// MethodRun bundles both branch-policy executions of one method on one
+// configuration ("Each method was executed twice with different branch
+// characteristics").
+type MethodRun struct {
+	Signature string
+	BP1, BP2  Result
+}
+
+// MeanIPC averages the two policies' IPC.
+func (mr MethodRun) MeanIPC() float64 {
+	return (mr.BP1.IPC() + mr.BP2.IPC()) / 2
+}
+
+// Runner executes a method population across configurations.
+type Runner struct {
+	// MaxMeshCycles overrides the per-execution timeout (0 = default).
+	MaxMeshCycles int
+}
+
+// RunMethod executes one method under one configuration with both branch
+// policies. Methods the fabric cannot host return a *fabric.LoadError.
+func (r *Runner) RunMethod(cfg Config, m *classfile.Method) (MethodRun, error) {
+	loader := &fabric.Loader{Fabric: cfg.Fabric}
+	placement, err := loader.Load(m)
+	if err != nil {
+		return MethodRun{}, err
+	}
+	res, err := fabric.Resolve(placement)
+	if err != nil {
+		return MethodRun{}, err
+	}
+	out := MethodRun{Signature: m.Signature()}
+	for _, policy := range []BranchPolicy{BP1, BP2} {
+		eng := NewEngine(cfg, res, policy)
+		if r.MaxMeshCycles > 0 {
+			eng.SetMaxCycles(r.MaxMeshCycles)
+		}
+		result, err := eng.Run()
+		if err != nil {
+			return MethodRun{}, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		result.Policy = policy
+		if policy == BP1 {
+			out.BP1 = result
+		} else {
+			out.BP2 = result
+		}
+	}
+	return out, nil
+}
+
+// ConfigResults is the population outcome for one configuration.
+type ConfigResults struct {
+	Config Config
+	Runs   []MethodRun
+	// Skipped counts methods the fabric rejected (switch/jsr methods).
+	Skipped int
+	// TimedOut counts methods filtered for not reaching a Return.
+	TimedOut int
+}
+
+// RunAll executes the population on one configuration, filtering timeouts
+// exactly as the dissertation did ("these methods have been filtered from
+// the results").
+func (r *Runner) RunAll(cfg Config, methods []*classfile.Method) (*ConfigResults, error) {
+	out := &ConfigResults{Config: cfg}
+	for _, m := range methods {
+		run, err := r.RunMethod(cfg, m)
+		if err != nil {
+			var le *fabric.LoadError
+			if asLoadError(err, &le) {
+				out.Skipped++
+				continue
+			}
+			return nil, fmt.Errorf("sim: %s: %w", m.Signature(), err)
+		}
+		if run.BP1.TimedOut || run.BP2.TimedOut {
+			out.TimedOut++
+			continue
+		}
+		out.Runs = append(out.Runs, run)
+	}
+	return out, nil
+}
+
+func asLoadError(err error, target **fabric.LoadError) bool {
+	for err != nil {
+		if le, ok := err.(*fabric.LoadError); ok {
+			*target = le
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// IPCs extracts the per-method mean IPC series.
+func (cr *ConfigResults) IPCs() []float64 {
+	out := make([]float64, len(cr.Runs))
+	for i, run := range cr.Runs {
+		out[i] = run.MeanIPC()
+	}
+	return out
+}
+
+// IPCSummary summarizes raw IPC (Table 21 rows).
+func (cr *ConfigResults) IPCSummary() stats.Summary {
+	return stats.Summarize(cr.IPCs())
+}
+
+// FigureOfMerit compares per-method IPC against the baseline run of the
+// same population: each method's IPC is normalized to its own Baseline IPC
+// and the normalized values are averaged (Section 7.3, Measurements:
+// "Figure of Merits are calculated for each method and then shown").
+type FigureOfMerit struct {
+	Mean   float64
+	StdDev float64
+	N      int
+}
+
+// FoMAgainst computes the Figure of Merit of cr relative to baseline.
+// Methods present in only one result set are ignored.
+func (cr *ConfigResults) FoMAgainst(baseline *ConfigResults) FigureOfMerit {
+	base := make(map[string]float64, len(baseline.Runs))
+	for _, run := range baseline.Runs {
+		base[run.Signature] = run.MeanIPC()
+	}
+	var ratios []float64
+	for _, run := range cr.Runs {
+		b, ok := base[run.Signature]
+		if !ok || b == 0 {
+			continue
+		}
+		ratios = append(ratios, run.MeanIPC()/b)
+	}
+	return FigureOfMerit{
+		Mean:   stats.Mean(ratios),
+		StdDev: stats.StdDev(ratios),
+		N:      len(ratios),
+	}
+}
+
+// PerMethodFoM returns signature → IPC ratio vs baseline (Tables 27–28).
+func (cr *ConfigResults) PerMethodFoM(baseline *ConfigResults) map[string]float64 {
+	base := make(map[string]float64, len(baseline.Runs))
+	for _, run := range baseline.Runs {
+		base[run.Signature] = run.MeanIPC()
+	}
+	out := make(map[string]float64, len(cr.Runs))
+	for _, run := range cr.Runs {
+		if b, ok := base[run.Signature]; ok && b > 0 {
+			out[run.Signature] = run.MeanIPC() / b
+		}
+	}
+	return out
+}
+
+// CoverageSummary averages coverage per policy (Table 18).
+func (cr *ConfigResults) CoverageSummary() (bp1, bp2 float64) {
+	var c1, c2 []float64
+	for _, run := range cr.Runs {
+		c1 = append(c1, run.BP1.Coverage())
+		c2 = append(c2, run.BP2.Coverage())
+	}
+	return stats.Mean(c1), stats.Mean(c2)
+}
+
+// ParallelismMean averages the fraction of mesh cycles with >=2 executing
+// instructions (Table 26).
+func (cr *ConfigResults) ParallelismMean() float64 {
+	var ps []float64
+	for _, run := range cr.Runs {
+		ps = append(ps, run.BP1.Parallelism(), run.BP2.Parallelism())
+	}
+	return stats.Mean(ps)
+}
+
+// RatioSummary summarizes instructions-to-max-node over the population
+// (Tables 19–20).
+func (cr *ConfigResults) RatioSummary() stats.Summary {
+	var rs []float64
+	for _, run := range cr.Runs {
+		if run.BP1.Static > 0 {
+			rs = append(rs, float64(run.BP1.MaxNode)/float64(run.BP1.Static))
+		}
+	}
+	return stats.Summarize(rs)
+}
+
+// FilterRuns selects runs by a static-size predicate (Table 16's filters).
+func (cr *ConfigResults) FilterRuns(keep func(MethodRun) bool) *ConfigResults {
+	out := &ConfigResults{Config: cr.Config, Skipped: cr.Skipped, TimedOut: cr.TimedOut}
+	for _, run := range cr.Runs {
+		if keep(run) {
+			out.Runs = append(out.Runs, run)
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Median(xs); got != 4.5 {
+		t.Errorf("Median = %v, want 4.5", got)
+	}
+	if got := Max(xs); got != 9 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Min(xs); got != 2 {
+		t.Errorf("Min = %v", got)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || Median(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("empty inputs should produce 0")
+	}
+	one := []float64{3}
+	if Mean(one) != 3 || Median(one) != 3 || Max(one) != 3 || Min(one) != 3 || StdDev(one) != 0 {
+		t.Error("singleton statistics wrong")
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	if got := Median([]float64{9, 1, 5}); got != 5 {
+		t.Errorf("Median = %v, want 5", got)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Correlation(xs, xs); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self correlation = %v, want 1", got)
+	}
+	neg := []float64{4, 3, 2, 1}
+	if got := Correlation(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("anti correlation = %v, want -1", got)
+	}
+	flat := []float64{5, 5, 5, 5}
+	if got := Correlation(xs, flat); got != 0 {
+		t.Errorf("zero-variance correlation = %v, want 0", got)
+	}
+	if got := Correlation(xs, []float64{1}); got != 0 {
+		t.Errorf("mismatched lengths = %v, want 0", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Median != 2 || s.Max != 3 || s.Min != 1 {
+		t.Errorf("Summarize = %+v", s)
+	}
+}
+
+// Property: min <= median <= max and min <= mean <= max for any input.
+func TestOrderingProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: correlation is symmetric and within [-1, 1].
+func TestCorrelationProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = float64(raw[i])
+			ys[i] = float64(raw[n+i])
+		}
+		c1 := Correlation(xs, ys)
+		c2 := Correlation(ys, xs)
+		return math.Abs(c1-c2) < 1e-9 && c1 >= -1.0000001 && c1 <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shifting a series by a constant leaves StdDev unchanged and
+// shifts the mean by that constant.
+func TestShiftInvarianceProperty(t *testing.T) {
+	f := func(raw []int8, shift int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			ys[i] = float64(v) + float64(shift)
+		}
+		return math.Abs(StdDev(xs)-StdDev(ys)) < 1e-9 &&
+			math.Abs((Mean(ys)-Mean(xs))-float64(shift)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"fmt"
+
+	"javaflow/internal/bytecode"
+	"javaflow/internal/classfile"
+	"javaflow/internal/jvm"
+)
+
+// LZW parameters matching the classic LZC layout used by the SPEC compress
+// benchmarks: open-addressed hash table with secondary probing.
+const (
+	lzwHsize   = 69001
+	lzwHshift  = 6
+	lzwBitsSh  = 16
+	lzwMaxCode = 1 << 16
+	lzwFirst   = 256
+)
+
+// CompressClass builds the Compressor/Decompressor/Input_Buffer analog —
+// compress(), output(), decompress() and getbyte() are the top-4 methods of
+// both _201_compress and compress (Tables 3–4).
+//
+// State is carried in arrays rather than object fields so the methods stay
+// pure ByteCode kernels: cursor cells live at index 0 of the in/out arrays.
+func CompressClass() *classfile.Class {
+	pool := classfile.NewConstantPool()
+	cHsize := pool.AddInt(lzwHsize)
+	cMaxCode := pool.AddInt(lzwMaxCode)
+	getbyteRef := pool.AddMethodRef(classfile.MethodRef{
+		Class: "spec/benchmarks/compress/Compressor", Name: "getbyte",
+		Argc: 1, ReturnsValue: true})
+	outputRef := pool.AddMethodRef(classfile.MethodRef{
+		Class: "spec/benchmarks/compress/Compressor", Name: "output", Argc: 2})
+
+	// int getbyte(int[] in): in[0] is the read cursor (initially 1).
+	// locals: 0=in 1=pos 2=v
+	getbyte := build(pool, methodSpec{
+		Name: "getbyte", Argc: 1, Returns: true, MaxLocals: 3,
+	}, func(a *bytecode.Assembler) {
+		a.ALoad(0).Op(bytecode.Iconst0).Op(bytecode.Iaload).IStore(1).
+			ILoad(1).ALoad(0).Op(bytecode.Arraylength).Branch(bytecode.IfIcmplt, "ok").
+			Op(bytecode.IconstM1).Op(bytecode.Ireturn).
+			Label("ok").
+			ALoad(0).ILoad(1).Op(bytecode.Iaload).IStore(2).
+			ALoad(0).Op(bytecode.Iconst0).ILoad(1).Op(bytecode.Iconst1).Op(bytecode.Iadd).
+			Op(bytecode.Iastore).
+			ILoad(2).Op(bytecode.Ireturn)
+	})
+
+	// void output(int[] out, int code): out[0] is the write cursor.
+	// locals: 0=out 1=code 2=pos
+	output := build(pool, methodSpec{
+		Name: "output", Argc: 2, MaxLocals: 3,
+	}, func(a *bytecode.Assembler) {
+		a.ALoad(0).Op(bytecode.Iconst0).Op(bytecode.Iaload).IStore(2).
+			ALoad(0).ILoad(2).ILoad(1).Op(bytecode.Iastore).
+			ALoad(0).Op(bytecode.Iconst0).ILoad(2).Op(bytecode.Iconst1).Op(bytecode.Iadd).
+			Op(bytecode.Iastore).
+			Op(bytecode.Return)
+	})
+
+	// void compress(int[] in, int[] out, int[] htab, int[] codetab)
+	// locals: 0=in 1=out 2=htab 3=codetab 4=ent 5=c 6=fcode 7=i 8=disp
+	//         9=free_ent
+	compress := build(pool, methodSpec{
+		Name: "compress", Argc: 4, MaxLocals: 10,
+	}, func(a *bytecode.Assembler) {
+		a.PushInt(lzwFirst).IStore(9).
+			ALoad(0).Call(bytecode.Invokestatic, getbyteRef, 1, true).IStore(4).
+			ILoad(4).Branch(bytecode.Ifge, "outer").
+			Op(bytecode.Return). // empty input
+			Label("outer").
+			ALoad(0).Call(bytecode.Invokestatic, getbyteRef, 1, true).IStore(5).
+			ILoad(5).Op(bytecode.IconstM1).Branch(bytecode.IfIcmpeq, "flush").
+			// fcode = (c << 16) + ent ; i = (c << hshift) ^ ent
+			ILoad(5).PushInt(lzwBitsSh).Op(bytecode.Ishl).ILoad(4).Op(bytecode.Iadd).IStore(6).
+			ILoad(5).PushInt(lzwHshift).Op(bytecode.Ishl).ILoad(4).Op(bytecode.Ixor).IStore(7).
+			// direct hit?
+			ALoad(2).ILoad(7).Op(bytecode.Iaload).ILoad(6).Branch(bytecode.IfIcmpne, "nomatch").
+			ALoad(3).ILoad(7).Op(bytecode.Iaload).IStore(4).
+			Branch(bytecode.Goto, "outer").
+			Label("nomatch").
+			// empty slot?
+			ALoad(2).ILoad(7).Op(bytecode.Iaload).Branch(bytecode.Iflt, "empty").
+			// secondary probe: disp = hsize - i (or 1 when i == 0)
+			Ldc(cHsize, false).ILoad(7).Op(bytecode.Isub).IStore(8).
+			ILoad(7).Branch(bytecode.Ifne, "probe").
+			Op(bytecode.Iconst1).IStore(8).
+			Label("probe").
+			ILoad(7).ILoad(8).Op(bytecode.Isub).IStore(7).
+			ILoad(7).Branch(bytecode.Ifge, "noadjust").
+			ILoad(7).Ldc(cHsize, false).Op(bytecode.Iadd).IStore(7).
+			Label("noadjust").
+			ALoad(2).ILoad(7).Op(bytecode.Iaload).ILoad(6).Branch(bytecode.IfIcmpne, "notfound").
+			ALoad(3).ILoad(7).Op(bytecode.Iaload).IStore(4).
+			Branch(bytecode.Goto, "outer").
+			Label("notfound").
+			ALoad(2).ILoad(7).Op(bytecode.Iaload).Branch(bytecode.Ifge, "probe").
+			Label("empty").
+			// emit current prefix, start new entry
+			ALoad(1).ILoad(4).Call(bytecode.Invokestatic, outputRef, 2, false).
+			ILoad(5).IStore(4).
+			ILoad(9).Ldc(cMaxCode, false).Branch(bytecode.IfIcmpge, "skipadd").
+			ALoad(3).ILoad(7).ILoad(9).Op(bytecode.Iastore).
+			ALoad(2).ILoad(7).ILoad(6).Op(bytecode.Iastore).
+			Iinc(9, 1).
+			Label("skipadd").
+			Branch(bytecode.Goto, "outer").
+			Label("flush").
+			ALoad(1).ILoad(4).Call(bytecode.Invokestatic, outputRef, 2, false).
+			Op(bytecode.Return)
+	})
+
+	// void decompress(int[] in, int[] out, int[] prefix, int[] suffix,
+	//                 int[] stack)
+	// locals: 0=in 1=out 2=prefix 3=suffix 4=stack 5=finchar 6=oldcode
+	//         7=code 8=incode 9=sp 10=free
+	decompress := build(pool, methodSpec{
+		Name: "decompress", Argc: 5, MaxLocals: 11,
+	}, func(a *bytecode.Assembler) {
+		a.ALoad(0).Call(bytecode.Invokestatic, getbyteRef, 1, true).IStore(6).
+			ILoad(6).Branch(bytecode.Ifge, "init").
+			Op(bytecode.Return).
+			Label("init").
+			ILoad(6).IStore(5).
+			ALoad(1).ILoad(5).Call(bytecode.Invokestatic, outputRef, 2, false).
+			PushInt(lzwFirst).IStore(10).
+			Label("loop").
+			ALoad(0).Call(bytecode.Invokestatic, getbyteRef, 1, true).IStore(7).
+			ILoad(7).Branch(bytecode.Ifge, "cont").
+			Op(bytecode.Return).
+			Label("cont").
+			ILoad(7).IStore(8).
+			PushInt(0).IStore(9).
+			// KwKwK case: code not yet defined
+			ILoad(7).ILoad(10).Branch(bytecode.IfIcmplt, "defined").
+			ALoad(4).ILoad(9).ILoad(5).Op(bytecode.Iastore).
+			Iinc(9, 1).
+			ILoad(6).IStore(7).
+			Label("defined").
+			// unwind the chain onto the stack
+			Label("unwind").
+			ILoad(7).PushInt(lzwFirst).Branch(bytecode.IfIcmplt, "unwound").
+			ALoad(4).ILoad(9).ALoad(3).ILoad(7).Op(bytecode.Iaload).Op(bytecode.Iastore).
+			Iinc(9, 1).
+			ALoad(2).ILoad(7).Op(bytecode.Iaload).IStore(7).
+			Branch(bytecode.Goto, "unwind").
+			Label("unwound").
+			ILoad(7).IStore(5).
+			ALoad(4).ILoad(9).ILoad(5).Op(bytecode.Iastore).
+			Iinc(9, 1).
+			// emit in reverse
+			Label("emit").
+			ILoad(9).Branch(bytecode.Ifle, "emitted").
+			Iinc(9, -1).
+			ALoad(1).ALoad(4).ILoad(9).Op(bytecode.Iaload).
+			Call(bytecode.Invokestatic, outputRef, 2, false).
+			Branch(bytecode.Goto, "emit").
+			Label("emitted").
+			// define the next code
+			ILoad(10).ALoad(2).Op(bytecode.Arraylength).Branch(bytecode.IfIcmpge, "nodef").
+			ALoad(2).ILoad(10).ILoad(6).Op(bytecode.Iastore).
+			ALoad(3).ILoad(10).ILoad(5).Op(bytecode.Iastore).
+			Iinc(10, 1).
+			Label("nodef").
+			ILoad(8).IStore(6).
+			Branch(bytecode.Goto, "loop")
+	})
+
+	c := classfile.NewClass("spec/benchmarks/compress/Compressor")
+	c.Add(getbyte).Add(output).Add(compress).Add(decompress)
+	return c
+}
+
+// CompressInput builds the cursor-prefixed input array the compress kernels
+// consume.
+func CompressInput(vm *jvm.Machine, data []byte) jvm.Value {
+	buf := make([]int64, len(data)+1)
+	buf[0] = 1 // read cursor
+	for i, b := range data {
+		buf[i+1] = int64(b)
+	}
+	return vm.NewIntArray(buf)
+}
+
+// CompressOutputData extracts the emitted codes from an output array.
+func CompressOutputData(vm *jvm.Machine, out jvm.Value) ([]int64, error) {
+	raw, err := vm.IntArrayData(out)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 || raw[0] < 1 || raw[0] > int64(len(raw)) {
+		return nil, fmt.Errorf("workload: malformed output cursor")
+	}
+	return raw[1:raw[0]], nil
+}
+
+// CompressSuites returns the SpecJvm2008 "compress" and SpecJvm98
+// "_201_compress" suites (both eras exercise the same kernels, as in the
+// dissertation's Tables 3 and 4).
+func CompressSuites() []*Suite {
+	mk := func(name, era string) *Suite {
+		s := &Suite{
+			Name: name, Era: era,
+			Classes: []*classfile.Class{CompressClass()},
+			HotMethods: []string{
+				"spec/benchmarks/compress/Compressor.compress/4",
+				"spec/benchmarks/compress/Compressor.decompress/5",
+				"spec/benchmarks/compress/Compressor.output/2",
+				"spec/benchmarks/compress/Compressor.getbyte/1",
+			},
+		}
+		s.Run = func(vm *jvm.Machine, scale int) error {
+			compress := s.method("spec/benchmarks/compress/Compressor", "compress")
+			decompress := s.method("spec/benchmarks/compress/Compressor", "decompress")
+
+			data := SyntheticText(4096 * scale)
+			in := CompressInput(vm, data)
+			out := vm.NewIntArray(make([]int64, len(data)+2))
+			if err := setCursor(vm, out); err != nil {
+				return err
+			}
+			htab := vm.NewIntArray(filled(lzwHsize, -1))
+			codetab := vm.NewIntArray(make([]int64, lzwHsize))
+			if _, err := vm.Invoke(compress, in, out, htab, codetab); err != nil {
+				return err
+			}
+
+			codes, err := CompressOutputData(vm, out)
+			if err != nil {
+				return err
+			}
+			if len(codes) >= len(data) {
+				return fmt.Errorf("%s: no compression (%d codes for %d bytes)", name, len(codes), len(data))
+			}
+
+			// Round trip through the decompressor.
+			cin := make([]int64, len(codes)+1)
+			cin[0] = 1
+			copy(cin[1:], codes)
+			codesArr := vm.NewIntArray(cin)
+			plain := vm.NewIntArray(make([]int64, len(data)+2))
+			if err := setCursor(vm, plain); err != nil {
+				return err
+			}
+			prefix := vm.NewIntArray(make([]int64, lzwMaxCode))
+			suffix := vm.NewIntArray(make([]int64, lzwMaxCode))
+			stack := vm.NewIntArray(make([]int64, lzwMaxCode))
+			if _, err := vm.Invoke(decompress, codesArr, plain, prefix, suffix, stack); err != nil {
+				return err
+			}
+			got, err := CompressOutputData(vm, plain)
+			if err != nil {
+				return err
+			}
+			if len(got) != len(data) {
+				return fmt.Errorf("%s: round trip length %d != %d", name, len(got), len(data))
+			}
+			for i := range data {
+				if got[i] != int64(data[i]) {
+					return fmt.Errorf("%s: round trip diverges at byte %d", name, i)
+				}
+			}
+			return nil
+		}
+		return s
+	}
+	return []*Suite{
+		mk("compress", "SpecJvm2008"),
+		mk("_201_compress", "SpecJvm98"),
+	}
+}
+
+func setCursor(vm *jvm.Machine, arr jvm.Value) error {
+	obj, err := vm.Heap.Get(arr)
+	if err != nil {
+		return err
+	}
+	obj.Array[0] = jvm.Int(1)
+	return nil
+}
+
+func filled(n int, v int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// SyntheticText produces deterministic, compressible pseudo-text.
+func SyntheticText(n int) []byte {
+	words := []string{"the ", "quick ", "brown ", "fox ", "jumps ", "over ",
+		"lazy ", "dog ", "data ", "flow ", "token ", "fabric "}
+	out := make([]byte, 0, n)
+	state := uint32(2463534242)
+	for len(out) < n {
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		out = append(out, words[state%uint32(len(words))]...)
+	}
+	return out[:n]
+}

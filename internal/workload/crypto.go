@@ -1,0 +1,281 @@
+package workload
+
+import (
+	"javaflow/internal/bytecode"
+	"javaflow/internal/classfile"
+	"javaflow/internal/jvm"
+)
+
+// Sha160Class builds the SHA-1 compression function — the hot method of
+// crypto.signverify (Table 3 reports Sha160.sha at 24% plus Sha256.sha; the
+// paper's static size is ~315 instructions, matching this construction).
+func Sha160Class() *classfile.Class {
+	pool := classfile.NewConstantPool()
+	k1 := pool.AddInt(0x5A827999)
+	k2 := pool.AddInt(0x6ED9EBA1)
+	k3 := pool.AddInt(int64(int32(-1894007588))) // 0x8F1BBCDC
+	k4 := pool.AddInt(int64(int32(-899497514)))  // 0xCA62C1D6
+
+	// void sha(int[] state5, int[] block16)
+	// locals: 0=state 1=block 2=w 3=t 4=a 5=b 6=c 7=d 8=e 9=tmp 10=f 11=k
+	sha := build(pool, methodSpec{
+		Name: "sha", Argc: 2, MaxLocals: 12,
+	}, func(a *bytecode.Assembler) {
+		a.PushInt(80).OpA(bytecode.Newarray, 10 /* T_INT */).AStore(2).
+			// message schedule: w[0..15] = block
+			PushInt(0).IStore(3).
+			Label("copy").
+			ILoad(3).PushInt(16).Branch(bytecode.IfIcmpge, "copied").
+			ALoad(2).ILoad(3).ALoad(1).ILoad(3).Op(bytecode.Iaload).Op(bytecode.Iastore).
+			Iinc(3, 1).
+			Branch(bytecode.Goto, "copy").
+			Label("copied").
+			// w[16..79] = rotl1(w[t-3]^w[t-8]^w[t-14]^w[t-16])
+			PushInt(16).IStore(3).
+			Label("expand").
+			ILoad(3).PushInt(80).Branch(bytecode.IfIcmpge, "expanded").
+			ALoad(2).ILoad(3).PushInt(3).Op(bytecode.Isub).Op(bytecode.Iaload).
+			ALoad(2).ILoad(3).PushInt(8).Op(bytecode.Isub).Op(bytecode.Iaload).Op(bytecode.Ixor).
+			ALoad(2).ILoad(3).PushInt(14).Op(bytecode.Isub).Op(bytecode.Iaload).Op(bytecode.Ixor).
+			ALoad(2).ILoad(3).PushInt(16).Op(bytecode.Isub).Op(bytecode.Iaload).Op(bytecode.Ixor).
+			IStore(9).
+			ALoad(2).ILoad(3).
+			ILoad(9).Op(bytecode.Iconst1).Op(bytecode.Ishl).
+			ILoad(9).PushInt(31).Op(bytecode.Iushr).
+			Op(bytecode.Ior).
+			Op(bytecode.Iastore).
+			Iinc(3, 1).
+			Branch(bytecode.Goto, "expand").
+			Label("expanded").
+			// working variables
+			ALoad(0).Op(bytecode.Iconst0).Op(bytecode.Iaload).IStore(4).
+			ALoad(0).Op(bytecode.Iconst1).Op(bytecode.Iaload).IStore(5).
+			ALoad(0).Op(bytecode.Iconst2).Op(bytecode.Iaload).IStore(6).
+			ALoad(0).Op(bytecode.Iconst3).Op(bytecode.Iaload).IStore(7).
+			ALoad(0).Op(bytecode.Iconst4).Op(bytecode.Iaload).IStore(8).
+			// 80 rounds
+			PushInt(0).IStore(3).
+			Label("round").
+			ILoad(3).PushInt(80).Branch(bytecode.IfIcmpge, "rounds_done").
+			ILoad(3).PushInt(20).Branch(bytecode.IfIcmpge, "phase2").
+			// f = (b & c) | (~b & d)
+			ILoad(5).ILoad(6).Op(bytecode.Iand).
+			ILoad(5).Op(bytecode.IconstM1).Op(bytecode.Ixor).ILoad(7).Op(bytecode.Iand).
+			Op(bytecode.Ior).IStore(10).
+			Ldc(k1, false).IStore(11).
+			Branch(bytecode.Goto, "mix").
+			Label("phase2").
+			ILoad(3).PushInt(40).Branch(bytecode.IfIcmpge, "phase3").
+			ILoad(5).ILoad(6).Op(bytecode.Ixor).ILoad(7).Op(bytecode.Ixor).IStore(10).
+			Ldc(k2, false).IStore(11).
+			Branch(bytecode.Goto, "mix").
+			Label("phase3").
+			ILoad(3).PushInt(60).Branch(bytecode.IfIcmpge, "phase4").
+			// f = (b&c) | (b&d) | (c&d)
+			ILoad(5).ILoad(6).Op(bytecode.Iand).
+			ILoad(5).ILoad(7).Op(bytecode.Iand).Op(bytecode.Ior).
+			ILoad(6).ILoad(7).Op(bytecode.Iand).Op(bytecode.Ior).IStore(10).
+			Ldc(k3, false).IStore(11).
+			Branch(bytecode.Goto, "mix").
+			Label("phase4").
+			ILoad(5).ILoad(6).Op(bytecode.Ixor).ILoad(7).Op(bytecode.Ixor).IStore(10).
+			Ldc(k4, false).IStore(11).
+			Label("mix").
+			// tmp = rotl5(a) + f + e + k + w[t]
+			ILoad(4).PushInt(5).Op(bytecode.Ishl).
+			ILoad(4).PushInt(27).Op(bytecode.Iushr).Op(bytecode.Ior).
+			ILoad(10).Op(bytecode.Iadd).
+			ILoad(8).Op(bytecode.Iadd).
+			ILoad(11).Op(bytecode.Iadd).
+			ALoad(2).ILoad(3).Op(bytecode.Iaload).Op(bytecode.Iadd).
+			IStore(9).
+			// e=d; d=c; c=rotl30(b); b=a; a=tmp
+			ILoad(7).IStore(8).
+			ILoad(6).IStore(7).
+			ILoad(5).PushInt(30).Op(bytecode.Ishl).
+			ILoad(5).Op(bytecode.Iconst2).Op(bytecode.Iushr).Op(bytecode.Ior).IStore(6).
+			ILoad(4).IStore(5).
+			ILoad(9).IStore(4).
+			Iinc(3, 1).
+			Branch(bytecode.Goto, "round").
+			Label("rounds_done").
+			// state += working vars
+			ALoad(0).Op(bytecode.Iconst0).
+			ALoad(0).Op(bytecode.Iconst0).Op(bytecode.Iaload).ILoad(4).Op(bytecode.Iadd).
+			Op(bytecode.Iastore).
+			ALoad(0).Op(bytecode.Iconst1).
+			ALoad(0).Op(bytecode.Iconst1).Op(bytecode.Iaload).ILoad(5).Op(bytecode.Iadd).
+			Op(bytecode.Iastore).
+			ALoad(0).Op(bytecode.Iconst2).
+			ALoad(0).Op(bytecode.Iconst2).Op(bytecode.Iaload).ILoad(6).Op(bytecode.Iadd).
+			Op(bytecode.Iastore).
+			ALoad(0).Op(bytecode.Iconst3).
+			ALoad(0).Op(bytecode.Iconst3).Op(bytecode.Iaload).ILoad(7).Op(bytecode.Iadd).
+			Op(bytecode.Iastore).
+			ALoad(0).Op(bytecode.Iconst4).
+			ALoad(0).Op(bytecode.Iconst4).Op(bytecode.Iaload).ILoad(8).Op(bytecode.Iadd).
+			Op(bytecode.Iastore).
+			Op(bytecode.Return)
+	})
+
+	c := classfile.NewClass("gnu/java/security/hash/Sha160")
+	c.Add(sha)
+	return c
+}
+
+// MPNClass builds gnu/java/math/MPN's submul_1 and mul — the
+// multi-precision kernels crypto.signverify and scimark.monte_carlo report
+// as hot (Table 3).
+func MPNClass() *classfile.Class {
+	pool := classfile.NewConstantPool()
+	cMask := pool.AddLong(0xffffffff)
+
+	// int submul_1(int[] dest, int[] x, int size, int y)
+	// Subtracts y*x from dest in place, returning the borrow word.
+	// locals: 0=dest 1=x 2=size 3=y 4=yl(long) 5=carry 6=j 7=prod(long)
+	//         8=prod_low 9=prod_high 10=x_j
+	submul := build(pool, methodSpec{
+		Name: "submul_1", Argc: 4, Returns: true, MaxLocals: 11,
+	}, func(a *bytecode.Assembler) {
+		a.ILoad(3).Op(bytecode.I2l).Ldc(cMask, true).Op(bytecode.Land).LStore(4).
+			PushInt(0).IStore(5).
+			PushInt(0).IStore(6).
+			Label("loop").
+			// prod = (x[j] & mask) * yl
+			ALoad(1).ILoad(6).Op(bytecode.Iaload).Op(bytecode.I2l).Ldc(cMask, true).Op(bytecode.Land).
+			LLoad(4).Op(bytecode.Lmul).LStore(7).
+			// prod_low = (int) prod ; prod_high = (int)(prod >>> 32)
+			LLoad(7).Op(bytecode.L2i).IStore(8).
+			LLoad(7).PushInt(32).Op(bytecode.Lushr).Op(bytecode.L2i).IStore(9).
+			// prod_low += carry; carry = (u32(prod_low) < u32(carry) ? 1:0) + prod_high
+			ILoad(8).ILoad(5).Op(bytecode.Iadd).IStore(8).
+			// unsigned compare via long masking
+			ILoad(8).Op(bytecode.I2l).Ldc(cMask, true).Op(bytecode.Land).
+			ILoad(5).Op(bytecode.I2l).Ldc(cMask, true).Op(bytecode.Land).
+			Op(bytecode.Lcmp).Branch(bytecode.Ifge, "nocarry1").
+			ILoad(9).Op(bytecode.Iconst1).Op(bytecode.Iadd).IStore(5).
+			Branch(bytecode.Goto, "carried1").
+			Label("nocarry1").
+			ILoad(9).IStore(5).
+			Label("carried1").
+			// x_j = dest[j]; prod_low = x_j - prod_low
+			ALoad(0).ILoad(6).Op(bytecode.Iaload).IStore(10).
+			ILoad(10).ILoad(8).Op(bytecode.Isub).IStore(8).
+			// if (u32(prod_low) > u32(x_j)) carry++
+			ILoad(8).Op(bytecode.I2l).Ldc(cMask, true).Op(bytecode.Land).
+			ILoad(10).Op(bytecode.I2l).Ldc(cMask, true).Op(bytecode.Land).
+			Op(bytecode.Lcmp).Branch(bytecode.Ifle, "noborrow").
+			Iinc(5, 1).
+			Label("noborrow").
+			ALoad(0).ILoad(6).ILoad(8).Op(bytecode.Iastore).
+			Iinc(6, 1).
+			ILoad(6).ILoad(2).Branch(bytecode.IfIcmplt, "loop").
+			ILoad(5).Op(bytecode.Ireturn)
+	})
+
+	// void mul(int[] dest, int[] x, int xlen, int[] y, int ylen)
+	// Schoolbook multiply of little-endian 32-bit limbs.
+	// locals: 0=dest 1=x 2=xlen 3=y 4=ylen 5=j 6=yl(long) 7=carry(long)
+	//         8=i 9=t(long)
+	mul := build(pool, methodSpec{
+		Name: "mul", Argc: 5, MaxLocals: 10,
+	}, func(a *bytecode.Assembler) {
+		a.PushInt(0).IStore(5).
+			// clear dest[0 .. xlen+ylen)
+			Label("clear").
+			ILoad(5).ILoad(2).ILoad(4).Op(bytecode.Iadd).Branch(bytecode.IfIcmpge, "cleared").
+			ALoad(0).ILoad(5).PushInt(0).Op(bytecode.Iastore).
+			Iinc(5, 1).
+			Branch(bytecode.Goto, "clear").
+			Label("cleared").
+			PushInt(0).IStore(5).
+			Label("jloop").
+			ILoad(5).ILoad(4).Branch(bytecode.IfIcmpge, "jdone").
+			ALoad(3).ILoad(5).Op(bytecode.Iaload).Op(bytecode.I2l).Ldc(cMask, true).Op(bytecode.Land).
+			LStore(6).
+			PushInt(0).Op(bytecode.I2l).LStore(7).
+			PushInt(0).IStore(8).
+			Label("iloop").
+			ILoad(8).ILoad(2).Branch(bytecode.IfIcmpge, "idone").
+			// t = (x[i]&mask)*yl + (dest[i+j]&mask) + carry
+			ALoad(1).ILoad(8).Op(bytecode.Iaload).Op(bytecode.I2l).Ldc(cMask, true).Op(bytecode.Land).
+			LLoad(6).Op(bytecode.Lmul).
+			ALoad(0).ILoad(8).ILoad(5).Op(bytecode.Iadd).Op(bytecode.Iaload).
+			Op(bytecode.I2l).Ldc(cMask, true).Op(bytecode.Land).
+			Op(bytecode.Ladd).
+			LLoad(7).Op(bytecode.Ladd).LStore(9).
+			// dest[i+j] = (int) t; carry = t >>> 32
+			ALoad(0).ILoad(8).ILoad(5).Op(bytecode.Iadd).
+			LLoad(9).Op(bytecode.L2i).
+			Op(bytecode.Iastore).
+			LLoad(9).PushInt(32).Op(bytecode.Lushr).LStore(7).
+			Iinc(8, 1).
+			Branch(bytecode.Goto, "iloop").
+			Label("idone").
+			// dest[xlen+j] = (int) carry
+			ALoad(0).ILoad(2).ILoad(5).Op(bytecode.Iadd).
+			LLoad(7).Op(bytecode.L2i).
+			Op(bytecode.Iastore).
+			Iinc(5, 1).
+			Branch(bytecode.Goto, "jloop").
+			Label("jdone").
+			Op(bytecode.Return)
+	})
+
+	c := classfile.NewClass("gnu/java/math/MPN")
+	c.Add(submul).Add(mul)
+	return c
+}
+
+// CryptoSuite assembles the crypto.signverify analog.
+func CryptoSuite() *Suite {
+	s := &Suite{
+		Name: "crypto.signverify", Era: "SpecJvm2008",
+		Classes: []*classfile.Class{Sha160Class(), MPNClass()},
+		HotMethods: []string{
+			"gnu/java/security/hash/Sha160.sha/2",
+			"gnu/java/math/MPN.submul_1/4",
+			"gnu/java/math/MPN.mul/5",
+		},
+	}
+	s.Run = func(vm *jvm.Machine, scale int) error {
+		sha := s.method("gnu/java/security/hash/Sha160", "sha")
+		mul := s.method("gnu/java/math/MPN", "mul")
+		submul := s.method("gnu/java/math/MPN", "submul_1")
+
+		state := vm.NewIntArray([]int64{
+			0x67452301, int64(int32(-271733879)), int64(int32(-1732584194)),
+			0x10325476, int64(int32(-1009589776)),
+		})
+		block := make([]int64, 16)
+		for i := range block {
+			block[i] = int64(int32(0x01020304 * (i + 1)))
+		}
+		blockArr := vm.NewIntArray(block)
+		for it := 0; it < 8*scale; it++ {
+			if _, err := vm.Invoke(sha, state, blockArr); err != nil {
+				return err
+			}
+		}
+
+		const limbs = 16
+		x := make([]int64, limbs)
+		y := make([]int64, limbs)
+		for i := range x {
+			x[i] = int64(int32(0x9E3779B9 * (i + 1)))
+			y[i] = int64(int32(0x7F4A7C15 * (i + 3)))
+		}
+		xa, ya := vm.NewIntArray(x), vm.NewIntArray(y)
+		dest := vm.NewIntArray(make([]int64, 2*limbs))
+		for it := 0; it < 4*scale; it++ {
+			if _, err := vm.Invoke(mul, dest, xa, jvm.Int(limbs), ya, jvm.Int(limbs)); err != nil {
+				return err
+			}
+			if _, err := vm.Invoke(submul, dest, xa, jvm.Int(limbs), jvm.Int(12345)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return s
+}

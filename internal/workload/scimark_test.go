@@ -1,0 +1,383 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"javaflow/internal/jvm"
+)
+
+func newVM(t *testing.T, suites ...*Suite) *jvm.Machine {
+	t.Helper()
+	vm := jvm.NewMachine()
+	seen := make(map[string]bool)
+	for _, s := range suites {
+		for _, c := range s.Classes {
+			if seen[c.Name] {
+				continue
+			}
+			seen[c.Name] = true
+			if err := vm.Register(c); err != nil {
+				t.Fatalf("register %s: %v", c.Name, err)
+			}
+		}
+	}
+	return vm
+}
+
+func findSuite(t *testing.T, name string) *Suite {
+	t.Helper()
+	for _, s := range SciMarkSuites() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no suite %q", name)
+	return nil
+}
+
+func TestNextDoubleMatchesReference(t *testing.T) {
+	s := findSuite(t, "scimark.monte_carlo")
+	vm := newVM(t, s)
+	nd := s.method("scimark/utils/Random", "nextDouble")
+
+	obj, err := NewRandom(vm, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewReferenceRandom(12345)
+	for i := 0; i < 1000; i++ {
+		got, err := vm.Invoke(nd, obj)
+		if err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+		want := ref.NextDouble()
+		if got.F != want {
+			t.Fatalf("draw %d: bytecode %v != reference %v", i, got.F, want)
+		}
+		if got.F < 0 || got.F >= 1 {
+			t.Fatalf("draw %d: %v outside [0,1)", i, got.F)
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	s := findSuite(t, "scimark.fft.large")
+	vm := newVM(t, s)
+	transform := s.method("scimark/fft/FFT", "transform_internal")
+	inverse := s.method("scimark/fft/FFT", "inverse")
+
+	const n = 64
+	rng := rand.New(rand.NewSource(7))
+	orig := make([]float64, 2*n)
+	for i := range orig {
+		orig[i] = rng.Float64()*2 - 1
+	}
+	arr := vm.NewDoubleArray(orig)
+
+	if _, err := vm.Invoke(transform, arr, jvm.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := vm.DoubleArrayData(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i := range after {
+		if after[i] != orig[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("transform left data unchanged")
+	}
+
+	if _, err := vm.Invoke(inverse, arr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vm.DoubleArrayData(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if math.Abs(got[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip diverges at %d: %v vs %v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	s := findSuite(t, "scimark.fft.large")
+	vm := newVM(t, s)
+	transform := s.method("scimark/fft/FFT", "transform_internal")
+
+	const n = 16
+	rng := rand.New(rand.NewSource(9))
+	data := make([]float64, 2*n)
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	arr := vm.NewDoubleArray(data)
+	if _, err := vm.Invoke(transform, arr, jvm.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vm.DoubleArrayData(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Naive DFT with the SciMark sign convention (direction=+1 uses
+	// exp(+2πi·jk/n)).
+	for k := 0; k < n; k++ {
+		var re, im float64
+		for j := 0; j < n; j++ {
+			angle := 2 * math.Pi * float64(j*k) / float64(n)
+			c, sn := math.Cos(angle), math.Sin(angle)
+			re += data[2*j]*c - data[2*j+1]*sn
+			im += data[2*j]*sn + data[2*j+1]*c
+		}
+		if math.Abs(got[2*k]-re) > 1e-8 || math.Abs(got[2*k+1]-im) > 1e-8 {
+			t.Fatalf("bin %d: got (%v,%v), want (%v,%v)", k, got[2*k], got[2*k+1], re, im)
+		}
+	}
+}
+
+func TestLUFactorMatchesReference(t *testing.T) {
+	s := findSuite(t, "scimark.lu.large")
+	vm := newVM(t, s)
+	factor := s.method("scimark/lu/LU", "factor")
+
+	const n = 12
+	rng := rand.New(rand.NewSource(41))
+	a := make([][]float64, n)
+	mat := vm.NewMatrix(n, n)
+	obj, _ := vm.Heap.Get(mat)
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		row, _ := vm.Heap.Get(obj.Array[i])
+		for j := 0; j < n; j++ {
+			v := rng.Float64()*2 - 1
+			a[i][j] = v
+			row.Array[j] = jvm.Double(v)
+		}
+	}
+	pivot := vm.NewIntArray(make([]int64, n))
+
+	res, err := vm.Invoke(factor, mat, pivot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != 0 {
+		t.Fatalf("factor returned %d, want 0", res.I)
+	}
+
+	wantA, wantP := referenceLU(a)
+	gotP, _ := vm.IntArrayData(pivot)
+	for j := 0; j < n; j++ {
+		if gotP[j] != int64(wantP[j]) {
+			t.Fatalf("pivot[%d] = %d, want %d", j, gotP[j], wantP[j])
+		}
+	}
+	for i := 0; i < n; i++ {
+		row, _ := vm.Heap.Get(obj.Array[i])
+		for j := 0; j < n; j++ {
+			if math.Abs(row.Array[j].F-wantA[i][j]) > 1e-12 {
+				t.Fatalf("A[%d][%d] = %v, want %v", i, j, row.Array[j].F, wantA[i][j])
+			}
+		}
+	}
+}
+
+// referenceLU mirrors the bytecode factor() in Go.
+func referenceLU(in [][]float64) ([][]float64, []int) {
+	n := len(in)
+	a := make([][]float64, n)
+	for i := range in {
+		a[i] = append([]float64(nil), in[i]...)
+	}
+	pivot := make([]int, n)
+	for j := 0; j < n; j++ {
+		jp := j
+		t := math.Abs(a[j][j])
+		for i := j + 1; i < n; i++ {
+			if ab := math.Abs(a[i][j]); ab > t {
+				jp, t = i, ab
+			}
+		}
+		pivot[j] = jp
+		if jp != j {
+			a[j], a[jp] = a[jp], a[j]
+		}
+		if j < n-1 {
+			recp := 1.0 / a[j][j]
+			for k := j + 1; k < n; k++ {
+				a[k][j] *= recp
+			}
+			for ii := j + 1; ii < n; ii++ {
+				for jj := j + 1; jj < n; jj++ {
+					a[ii][jj] -= a[ii][j] * a[j][jj]
+				}
+			}
+		}
+	}
+	return a, pivot
+}
+
+func TestSORMatchesReference(t *testing.T) {
+	s := findSuite(t, "scimark.sor.large")
+	vm := newVM(t, s)
+	execute := s.method("scimark/sor/SOR", "execute")
+
+	const n = 10
+	const iters = 3
+	const omega = 1.25
+	rng := rand.New(rand.NewSource(5))
+	g := make([][]float64, n)
+	mat := vm.NewMatrix(n, n)
+	obj, _ := vm.Heap.Get(mat)
+	for i := 0; i < n; i++ {
+		g[i] = make([]float64, n)
+		row, _ := vm.Heap.Get(obj.Array[i])
+		for j := 0; j < n; j++ {
+			v := rng.Float64()
+			g[i][j] = v
+			row.Array[j] = jvm.Double(v)
+		}
+	}
+
+	got, err := vm.Invoke(execute, jvm.Double(omega), mat, jvm.Int(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Go reference.
+	oof := omega * 0.25
+	omo := 1.0 - omega
+	for p := 0; p < iters; p++ {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				g[i][j] = oof*(g[i-1][j]+g[i+1][j]+g[i][j-1]+g[i][j+1]) + omo*g[i][j]
+			}
+		}
+	}
+	if math.Abs(got.F-g[1][1]) > 1e-12 {
+		t.Fatalf("execute = %v, want %v", got.F, g[1][1])
+	}
+	for i := 0; i < n; i++ {
+		row, _ := vm.Heap.Get(obj.Array[i])
+		for j := 0; j < n; j++ {
+			if math.Abs(row.Array[j].F-g[i][j]) > 1e-12 {
+				t.Fatalf("G[%d][%d] = %v, want %v", i, j, row.Array[j].F, g[i][j])
+			}
+		}
+	}
+}
+
+func TestSparseMatmultMatchesReference(t *testing.T) {
+	s := findSuite(t, "scimark.sparse.large")
+	vm := newVM(t, s)
+	matmult := s.method("scimark/sparse/SparseCompRow", "matmult")
+
+	const n = 20
+	rng := rand.New(rand.NewSource(77))
+	row := make([]int64, n+1)
+	var col []int64
+	var val []float64
+	for r := 0; r < n; r++ {
+		nz := 1 + rng.Intn(4)
+		row[r+1] = row[r] + int64(nz)
+		for k := 0; k < nz; k++ {
+			col = append(col, int64(rng.Intn(n)))
+			val = append(val, rng.Float64())
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+
+	y := vm.NewDoubleArray(make([]float64, n))
+	_, err := vm.Invoke(matmult, y,
+		vm.NewDoubleArray(val), vm.NewIntArray(row), vm.NewIntArray(col),
+		vm.NewDoubleArray(x), jvm.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := vm.DoubleArrayData(y)
+	for r := 0; r < n; r++ {
+		var want float64
+		for i := row[r]; i < row[r+1]; i++ {
+			want += x[col[i]] * val[i]
+		}
+		if math.Abs(got[r]-want) > 1e-12 {
+			t.Fatalf("y[%d] = %v, want %v", r, got[r], want)
+		}
+	}
+}
+
+func TestMonteCarloMatchesReference(t *testing.T) {
+	s := findSuite(t, "scimark.monte_carlo")
+	vm := newVM(t, s)
+	integrate := s.method("scimark/monte_carlo/MonteCarlo", "integrate")
+
+	const samples = 5000
+	rnd, err := NewRandom(vm, 113)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vm.Invoke(integrate, rnd, jvm.Int(samples))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := NewReferenceRandom(113)
+	under := 0
+	for i := 0; i < samples; i++ {
+		x := ref.NextDouble()
+		y := ref.NextDouble()
+		if x*x+y*y <= 1.0 {
+			under++
+		}
+	}
+	want := float64(under) / samples * 4.0
+	if got.F != want {
+		t.Fatalf("integrate = %v, want %v", got.F, want)
+	}
+	if math.Abs(got.F-math.Pi) > 0.15 {
+		t.Errorf("π estimate %v far from π", got.F)
+	}
+}
+
+func TestSciMarkSuitesRunAndProfile(t *testing.T) {
+	for _, s := range SciMarkSuites() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			vm := newVM(t, s)
+			if err := s.Run(vm, 1); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if vm.Profile.TotalOps() == 0 {
+				t.Fatal("no instructions profiled")
+			}
+			// The named hot methods must dominate the dynamic mix, as in
+			// Tables 3–4.
+			top := vm.Profile.MethodsFor(0.90)
+			sigs := make(map[string]bool, len(top))
+			for _, ms := range top {
+				sigs[ms.Signature] = true
+			}
+			found := false
+			for _, hot := range s.HotMethods {
+				if sigs[hot] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("none of %v in the 90%% set %v", s.HotMethods, top)
+			}
+		})
+	}
+}

@@ -1,0 +1,655 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"javaflow/internal/bytecode"
+	"javaflow/internal/classfile"
+	"javaflow/internal/jvm"
+)
+
+// DatabaseClass builds the _209_db analog: String.compareTo over char
+// arrays and Database.shell_sort (41% and 27% of _209_db, Table 4).
+func DatabaseClass() *classfile.Class {
+	pool := classfile.NewConstantPool()
+	fCmp := pool.AddFieldRef(classfile.FieldRef{
+		Class: "spec/benchmarks/_209_db/Database", Name: "comparisons", Static: true, Slot: 0})
+
+	// int compareTo(int[] a, int[] b): lexicographic compare, Java
+	// String.compareTo semantics, bumping the database's comparison
+	// counter field (giving the 98-era corpus its storage-instruction
+	// traffic for the Table 5 _Quick analysis).
+	// locals: 0=a 1=b 2=i 3=n 4=d
+	compareTo := build(pool, methodSpec{
+		Name: "compareTo", Argc: 2, Returns: true, MaxLocals: 5,
+	}, func(a *bytecode.Assembler) {
+		a.Field(bytecode.Getstatic, fCmp).Op(bytecode.Iconst1).Op(bytecode.Iadd).
+			Field(bytecode.Putstatic, fCmp).
+			ALoad(0).Op(bytecode.Arraylength).IStore(3).
+			ALoad(1).Op(bytecode.Arraylength).ILoad(3).
+			Branch(bytecode.IfIcmpge, "minok").
+			ALoad(1).Op(bytecode.Arraylength).IStore(3).
+			Label("minok").
+			PushInt(0).IStore(2).
+			Label("loop").
+			ILoad(2).ILoad(3).Branch(bytecode.IfIcmpge, "tail").
+			ALoad(0).ILoad(2).Op(bytecode.Iaload).
+			ALoad(1).ILoad(2).Op(bytecode.Iaload).
+			Op(bytecode.Isub).IStore(4).
+			ILoad(4).Branch(bytecode.Ifeq, "same").
+			ILoad(4).Op(bytecode.Ireturn).
+			Label("same").
+			Iinc(2, 1).
+			Branch(bytecode.Goto, "loop").
+			Label("tail").
+			ALoad(0).Op(bytecode.Arraylength).
+			ALoad(1).Op(bytecode.Arraylength).
+			Op(bytecode.Isub).
+			Op(bytecode.Ireturn)
+	})
+
+	// void shell_sort(int[] arr): gap-halving insertion sort.
+	// locals: 0=arr 1=n 2=gap 3=i 4=j 5=tmp
+	shellSort := build(pool, methodSpec{
+		Name: "shell_sort", Argc: 1, MaxLocals: 6,
+	}, func(a *bytecode.Assembler) {
+		a.ALoad(0).Op(bytecode.Arraylength).IStore(1).
+			ILoad(1).Op(bytecode.Iconst2).Op(bytecode.Idiv).IStore(2).
+			Label("gaploop").
+			ILoad(2).Branch(bytecode.Ifle, "done").
+			ILoad(2).IStore(3).
+			Label("iloop").
+			ILoad(3).ILoad(1).Branch(bytecode.IfIcmpge, "idone").
+			ALoad(0).ILoad(3).Op(bytecode.Iaload).IStore(5).
+			ILoad(3).IStore(4).
+			Label("jloop").
+			ILoad(4).ILoad(2).Branch(bytecode.IfIcmplt, "insert").
+			ALoad(0).ILoad(4).ILoad(2).Op(bytecode.Isub).Op(bytecode.Iaload).
+			ILoad(5).Branch(bytecode.IfIcmple, "insert").
+			ALoad(0).ILoad(4).
+			ALoad(0).ILoad(4).ILoad(2).Op(bytecode.Isub).Op(bytecode.Iaload).
+			Op(bytecode.Iastore).
+			ILoad(4).ILoad(2).Op(bytecode.Isub).IStore(4).
+			Branch(bytecode.Goto, "jloop").
+			Label("insert").
+			ALoad(0).ILoad(4).ILoad(5).Op(bytecode.Iastore).
+			Iinc(3, 1).
+			Branch(bytecode.Goto, "iloop").
+			Label("idone").
+			ILoad(2).Op(bytecode.Iconst2).Op(bytecode.Idiv).IStore(2).
+			Branch(bytecode.Goto, "gaploop").
+			Label("done").
+			Op(bytecode.Return)
+	})
+
+	c := classfile.NewClass("spec/benchmarks/_209_db/Database")
+	c.StaticSlots = 1
+	c.Add(compareTo).Add(shellSort)
+	return c
+}
+
+// MpegClass builds the _222_mpegaudio "q.l" analog: a synthesis-filter
+// multiply-accumulate kernel, 43% of the benchmark (Table 4). The paper's
+// q.l is a windowed subband MAC; this is the same shape.
+func MpegClass() *classfile.Class {
+	pool := classfile.NewConstantPool()
+
+	// void l(double[] v, double[] window, double[] y)
+	// y[i] = Σ_j window[j] * v[(i + (j<<5)) & (v.length-1)]
+	// locals: 0=v 1=window 2=y 3=mask 4=i 5=j 6=sum
+	lMethod := build(pool, methodSpec{
+		Name: "l", Argc: 3, MaxLocals: 7,
+	}, func(a *bytecode.Assembler) {
+		a.ALoad(0).Op(bytecode.Arraylength).Op(bytecode.Iconst1).Op(bytecode.Isub).IStore(3).
+			PushInt(0).IStore(4).
+			Label("iloop").
+			ILoad(4).ALoad(2).Op(bytecode.Arraylength).Branch(bytecode.IfIcmpge, "idone").
+			Op(bytecode.Dconst0).DStore(6).
+			PushInt(0).IStore(5).
+			Label("jloop").
+			ILoad(5).ALoad(1).Op(bytecode.Arraylength).Branch(bytecode.IfIcmpge, "jdone").
+			DLoad(6).
+			ALoad(1).ILoad(5).Op(bytecode.Daload).
+			ALoad(0).
+			ILoad(4).ILoad(5).PushInt(5).Op(bytecode.Ishl).Op(bytecode.Iadd).
+			ILoad(3).Op(bytecode.Iand).
+			Op(bytecode.Daload).
+			Op(bytecode.Dmul).Op(bytecode.Dadd).DStore(6).
+			Iinc(5, 1).
+			Branch(bytecode.Goto, "jloop").
+			Label("jdone").
+			ALoad(2).ILoad(4).DLoad(6).Op(bytecode.Dastore).
+			Iinc(4, 1).
+			Branch(bytecode.Goto, "iloop").
+			Label("idone").
+			Op(bytecode.Return)
+	})
+
+	c := classfile.NewClass("spec/benchmarks/_222_mpegaudio/q")
+	c.Add(lMethod)
+	return c
+}
+
+// RaytraceClass builds the _227_mtrt OctNode.Intersect analog: a
+// float-heavy, branch-heavy nearest-sphere intersection kernel (Table 4).
+func RaytraceClass() *classfile.Class {
+	pool := classfile.NewConstantPool()
+	sqrtRef := pool.AddMethodRef(classfile.MethodRef{
+		Class: "java/lang/Math", Name: "sqrt", Argc: 1, ReturnsValue: true})
+	cBig := pool.AddDouble(1e30)
+	cEps := pool.AddDouble(1e-9)
+
+	// int Intersect(double[] ray /*ox,oy,oz,dx,dy,dz*/,
+	//               double[] spheres /*cx,cy,cz,r × n*/)
+	// returns index of nearest hit sphere, or -1.
+	// locals: 0=ray 1=spheres 2=best 3=i 4=bestT
+	//         5=ocx 6=ocy 7=ocz 8=b 9=c 10=disc 11=t
+	intersect := build(pool, methodSpec{
+		Name: "Intersect", Argc: 2, Returns: true, MaxLocals: 12,
+	}, func(a *bytecode.Assembler) {
+		a.PushInt(-1).IStore(2).
+			Ldc(cBig, true).DStore(4).
+			PushInt(0).IStore(3).
+			Label("loop").
+			ILoad(3).ALoad(1).Op(bytecode.Arraylength).Branch(bytecode.IfIcmpge, "done").
+			// oc = center - origin
+			ALoad(1).ILoad(3).Op(bytecode.Daload).
+			ALoad(0).Op(bytecode.Iconst0).Op(bytecode.Daload).Op(bytecode.Dsub).DStore(5).
+			ALoad(1).ILoad(3).Op(bytecode.Iconst1).Op(bytecode.Iadd).Op(bytecode.Daload).
+			ALoad(0).Op(bytecode.Iconst1).Op(bytecode.Daload).Op(bytecode.Dsub).DStore(6).
+			ALoad(1).ILoad(3).Op(bytecode.Iconst2).Op(bytecode.Iadd).Op(bytecode.Daload).
+			ALoad(0).Op(bytecode.Iconst2).Op(bytecode.Daload).Op(bytecode.Dsub).DStore(7).
+			// b = oc · dir
+			DLoad(5).ALoad(0).Op(bytecode.Iconst3).Op(bytecode.Daload).Op(bytecode.Dmul).
+			DLoad(6).ALoad(0).Op(bytecode.Iconst4).Op(bytecode.Daload).Op(bytecode.Dmul).
+			Op(bytecode.Dadd).
+			DLoad(7).ALoad(0).Op(bytecode.Iconst5).Op(bytecode.Daload).Op(bytecode.Dmul).
+			Op(bytecode.Dadd).DStore(8).
+			// c = oc·oc - r²
+			DLoad(5).DLoad(5).Op(bytecode.Dmul).
+			DLoad(6).DLoad(6).Op(bytecode.Dmul).Op(bytecode.Dadd).
+			DLoad(7).DLoad(7).Op(bytecode.Dmul).Op(bytecode.Dadd).
+			ALoad(1).ILoad(3).Op(bytecode.Iconst3).Op(bytecode.Iadd).Op(bytecode.Daload).
+			ALoad(1).ILoad(3).Op(bytecode.Iconst3).Op(bytecode.Iadd).Op(bytecode.Daload).
+			Op(bytecode.Dmul).Op(bytecode.Dsub).DStore(9).
+			// disc = b² - c
+			DLoad(8).DLoad(8).Op(bytecode.Dmul).DLoad(9).Op(bytecode.Dsub).DStore(10).
+			DLoad(10).Op(bytecode.Dconst0).Op(bytecode.Dcmpl).Branch(bytecode.Iflt, "miss").
+			// t = b - sqrt(disc)
+			DLoad(8).DLoad(10).Call(bytecode.Invokestatic, sqrtRef, 1, true).
+			Op(bytecode.Dsub).DStore(11).
+			// hit must be in front of the origin and nearer than best
+			DLoad(11).Ldc(cEps, true).Op(bytecode.Dcmpl).Branch(bytecode.Ifle, "miss").
+			DLoad(11).DLoad(4).Op(bytecode.Dcmpl).Branch(bytecode.Ifge, "miss").
+			DLoad(11).DStore(4).
+			ILoad(3).Op(bytecode.Iconst4).Op(bytecode.Idiv).IStore(2).
+			Label("miss").
+			Iinc(3, 4).
+			Branch(bytecode.Goto, "loop").
+			Label("done").
+			ILoad(2).Op(bytecode.Ireturn)
+	})
+
+	c := classfile.NewClass("spec/benchmarks/_205_raytrace/OctNode")
+	c.Add(intersect)
+	return c
+}
+
+// JackClass builds the _228_jack token-scanner analog. It contains a
+// lookupswitch, making it one of the methods the simulation excludes from
+// fabric residency (Section 6.3, Special Instructions) — exactly as the
+// dissertation's simulation did.
+func JackClass() *classfile.Class {
+	pool := classfile.NewConstantPool()
+
+	// int scan(int[] input): counts tokens; character classes are switched
+	// on. Classes: 0 space, 1 letter, 2 digit, 3 punct (precomputed by the
+	// driver, as the real tokenizer's table lookup would).
+	// locals: 0=input 1=i 2=tokens 3=inTok 4=cls
+	scan := build(pool, methodSpec{
+		Name: "getNextTokenFromStream", Argc: 1, Returns: true, MaxLocals: 5,
+	}, func(a *bytecode.Assembler) {
+		a.PushInt(0).IStore(1).
+			PushInt(0).IStore(2).
+			PushInt(0).IStore(3).
+			Label("loop").
+			ILoad(1).ALoad(0).Op(bytecode.Arraylength).Branch(bytecode.IfIcmpge, "done").
+			ALoad(0).ILoad(1).Op(bytecode.Iaload).IStore(4).
+			ILoad(4).
+			Switch(map[int64]string{
+				0: "space",
+				1: "word",
+				2: "word",
+				3: "punct",
+			}, "space").
+			Label("space").
+			PushInt(0).IStore(3).
+			Branch(bytecode.Goto, "next").
+			Label("word").
+			ILoad(3).Branch(bytecode.Ifne, "next").
+			Op(bytecode.Iconst1).IStore(3).
+			Iinc(2, 1).
+			Branch(bytecode.Goto, "next").
+			Label("punct").
+			PushInt(0).IStore(3).
+			Iinc(2, 1).
+			Label("next").
+			Iinc(1, 1).
+			Branch(bytecode.Goto, "loop").
+			Label("done").
+			ILoad(2).Op(bytecode.Ireturn)
+	})
+
+	c := classfile.NewClass("spec/benchmarks/_228_jack/TokenEngine")
+	c.Add(scan)
+	return c
+}
+
+// Spec98Suites returns the SpecJvm98-era analog suites (beyond
+// _201_compress, which CompressSuites provides).
+func Spec98Suites() []*Suite {
+	db := &Suite{
+		Name: "_209_db", Era: "SpecJvm98",
+		Classes: []*classfile.Class{DatabaseClass()},
+		HotMethods: []string{
+			"spec/benchmarks/_209_db/Database.compareTo/2",
+			"spec/benchmarks/_209_db/Database.shell_sort/1",
+		},
+	}
+	db.Run = func(vm *jvm.Machine, scale int) error {
+		compareTo := db.method("spec/benchmarks/_209_db/Database", "compareTo")
+		shellSort := db.method("spec/benchmarks/_209_db/Database", "shell_sort")
+		rng := rand.New(rand.NewSource(55))
+
+		// Sort several arrays, then run a compare-heavy pass as the
+		// database's shell_sort/compareTo pairing does.
+		for it := 0; it < scale; it++ {
+			data := make([]int64, 200+100*it)
+			for i := range data {
+				data[i] = int64(rng.Intn(1000))
+			}
+			arr := vm.NewIntArray(data)
+			if _, err := vm.Invoke(shellSort, arr); err != nil {
+				return err
+			}
+			got, err := vm.IntArrayData(arr)
+			if err != nil {
+				return err
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i-1] > got[i] {
+					return fmt.Errorf("_209_db: not sorted at %d", i)
+				}
+			}
+		}
+		keys := make([]jvm.Value, 24)
+		for i := range keys {
+			k := make([]int64, 8+rng.Intn(8))
+			for j := range k {
+				k[j] = int64('a' + rng.Intn(26))
+			}
+			keys[i] = vm.NewIntArray(k)
+		}
+		for it := 0; it < 40*scale; it++ {
+			a := keys[rng.Intn(len(keys))]
+			b := keys[rng.Intn(len(keys))]
+			if _, err := vm.Invoke(compareTo, a, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	mpeg := &Suite{
+		Name: "_222_mpegaudio", Era: "SpecJvm98",
+		Classes:    []*classfile.Class{MpegClass()},
+		HotMethods: []string{"spec/benchmarks/_222_mpegaudio/q.l/3"},
+	}
+	mpeg.Run = func(vm *jvm.Machine, scale int) error {
+		l := mpeg.method("spec/benchmarks/_222_mpegaudio/q", "l")
+		rng := rand.New(rand.NewSource(66))
+		v := make([]float64, 512)
+		for i := range v {
+			v[i] = rng.Float64()*2 - 1
+		}
+		window := make([]float64, 16)
+		for i := range window {
+			window[i] = rng.Float64()
+		}
+		va := vm.NewDoubleArray(v)
+		wa := vm.NewDoubleArray(window)
+		y := vm.NewDoubleArray(make([]float64, 32))
+		for it := 0; it < 8*scale; it++ {
+			if _, err := vm.Invoke(l, va, wa, y); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	jess := &Suite{
+		Name: "_202_jess", Era: "SpecJvm98",
+		Classes: []*classfile.Class{JessClass()},
+		HotMethods: []string{
+			"spec/benchmarks/_202_jess/jess/Token.data_equals/2",
+			"spec/benchmarks/_202_jess/jess/Token.runTestsVaryRight/3",
+		},
+	}
+	jess.Run = func(vm *jvm.Machine, scale int) error {
+		runTests := jess.method("spec/benchmarks/_202_jess/jess/Token", "runTestsVaryRight")
+		rng := rand.New(rand.NewSource(88))
+		tokens := make([]jvm.Value, 16)
+		for i := range tokens {
+			data := make([]int64, 6)
+			for j := range data {
+				data[j] = int64(rng.Intn(4))
+			}
+			tokens[i] = vm.NewIntArray(data)
+		}
+		for it := 0; it < 30*scale; it++ {
+			a := tokens[rng.Intn(len(tokens))]
+			b := tokens[rng.Intn(len(tokens))]
+			if _, err := vm.Invoke(runTests, a, b, jvm.Int(8)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	mtrt := &Suite{
+		Name: "_227_mtrt", Era: "SpecJvm98",
+		Classes: []*classfile.Class{RaytraceClass(), OctNodeClass()},
+		HotMethods: []string{
+			"spec/benchmarks/_205_raytrace/OctNode.Intersect/2",
+			"spec/benchmarks/_205_raytrace/OctNodeTree.FindTreeNode/2",
+		},
+	}
+	mtrt.Run = func(vm *jvm.Machine, scale int) error {
+		intersect := mtrt.method("spec/benchmarks/_205_raytrace/OctNode", "Intersect")
+		rng := rand.New(rand.NewSource(77))
+		spheres := make([]float64, 4*40)
+		for i := 0; i < len(spheres); i += 4 {
+			spheres[i] = rng.Float64()*10 - 5
+			spheres[i+1] = rng.Float64()*10 - 5
+			spheres[i+2] = rng.Float64()*10 - 5
+			spheres[i+3] = 0.2 + rng.Float64()
+		}
+		sa := vm.NewDoubleArray(spheres)
+		hits := 0
+		for it := 0; it < 60*scale; it++ {
+			dx, dy, dz := rng.Float64()*2-1, rng.Float64()*2-1, rng.Float64()*2-1
+			norm := 1.0 / mathHypot3(dx, dy, dz)
+			ray := vm.NewDoubleArray([]float64{0, 0, -20, dx * norm, dy * norm, dz*norm + 1})
+			res, err := vm.Invoke(intersect, ray, sa)
+			if err != nil {
+				return err
+			}
+			if res.I >= 0 {
+				hits++
+			}
+		}
+		if hits == 0 {
+			return fmt.Errorf("_227_mtrt: no ray hit any sphere")
+		}
+		// Octree descent: every probe must land in the leaf the Go-side
+		// reference octree predicts.
+		find := mtrt.method("spec/benchmarks/_205_raytrace/OctNodeTree", "FindTreeNode")
+		nodes, ref := BuildOctree(3)
+		na := vm.NewDoubleArray(nodes)
+		for it := 0; it < 30*scale; it++ {
+			p := []float64{rng.Float64() * 16, rng.Float64() * 16, rng.Float64() * 16}
+			res, err := vm.Invoke(find, na, vm.NewDoubleArray(p))
+			if err != nil {
+				return err
+			}
+			if want := ref(p); res.I != int64(want) {
+				return fmt.Errorf("_227_mtrt: FindTreeNode(%v) = %d, want %d", p, res.I, want)
+			}
+		}
+		return nil
+	}
+
+	jack := &Suite{
+		Name: "_228_jack", Era: "SpecJvm98",
+		Classes:    []*classfile.Class{JackClass()},
+		HotMethods: []string{"spec/benchmarks/_228_jack/TokenEngine.getNextTokenFromStream/1"},
+	}
+	jack.Run = func(vm *jvm.Machine, scale int) error {
+		scan := jack.method("spec/benchmarks/_228_jack/TokenEngine", "getNextTokenFromStream")
+		text := SyntheticText(2048 * scale)
+		classes := make([]int64, len(text))
+		for i, b := range text {
+			switch {
+			case b == ' ':
+				classes[i] = 0
+			case b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z':
+				classes[i] = 1
+			case b >= '0' && b <= '9':
+				classes[i] = 2
+			default:
+				classes[i] = 3
+			}
+		}
+		res, err := vm.Invoke(scan, vm.NewIntArray(classes))
+		if err != nil {
+			return err
+		}
+		if res.I <= 0 {
+			return fmt.Errorf("_228_jack: scanned %d tokens", res.I)
+		}
+		return nil
+	}
+
+	return []*Suite{db, jess, mpeg, mtrt, jack}
+}
+
+func mathHypot3(x, y, z float64) float64 {
+	s := math.Sqrt(x*x + y*y + z*z)
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// JessClass builds the _202_jess analogs: Token.data_equals and
+// ValueVector.equals (Table 4's hot comparison methods) — early-exit array
+// comparisons.
+func JessClass() *classfile.Class {
+	pool := classfile.NewConstantPool()
+	deRef := pool.AddMethodRef(classfile.MethodRef{
+		Class: "spec/benchmarks/_202_jess/jess/Token", Name: "data_equals",
+		Argc: 2, ReturnsValue: true})
+
+	// int data_equals(int[] a, int[] b): 1 when element-wise equal.
+	// locals: 0=a 1=b 2=i
+	dataEquals := build(pool, methodSpec{
+		Name: "data_equals", Argc: 2, Returns: true, MaxLocals: 3,
+	}, func(a *bytecode.Assembler) {
+		a.ALoad(0).Op(bytecode.Arraylength).
+			ALoad(1).Op(bytecode.Arraylength).
+			Branch(bytecode.IfIcmpeq, "scan").
+			PushInt(0).Op(bytecode.Ireturn).
+			Label("scan").
+			PushInt(0).IStore(2).
+			Label("loop").
+			ILoad(2).ALoad(0).Op(bytecode.Arraylength).Branch(bytecode.IfIcmpge, "eq").
+			ALoad(0).ILoad(2).Op(bytecode.Iaload).
+			ALoad(1).ILoad(2).Op(bytecode.Iaload).
+			Branch(bytecode.IfIcmpeq, "next").
+			PushInt(0).Op(bytecode.Ireturn).
+			Label("next").
+			Iinc(2, 1).
+			Branch(bytecode.Goto, "loop").
+			Label("eq").
+			PushInt(1).Op(bytecode.Ireturn)
+	})
+
+	// int equals(int[][] rows..., flattened): runTests-style loop calling
+	// data_equals over a window (locals: 0=a 1=b 2=w 3=i 4=hits).
+	runTests := build(pool, methodSpec{
+		Name: "runTestsVaryRight", Argc: 3, Returns: true, MaxLocals: 5,
+	}, func(a *bytecode.Assembler) {
+		a.PushInt(0).IStore(4).
+			PushInt(0).IStore(3).
+			Label("loop").
+			ILoad(3).ILoad(2).Branch(bytecode.IfIcmpge, "done").
+			ALoad(0).ALoad(1).
+			Call(bytecode.Invokestatic, deRef, 2, true).
+			Branch(bytecode.Ifeq, "miss").
+			Iinc(4, 1).
+			Label("miss").
+			Iinc(3, 1).
+			Branch(bytecode.Goto, "loop").
+			Label("done").
+			ILoad(4).Op(bytecode.Ireturn)
+	})
+
+	c := classfile.NewClass("spec/benchmarks/_202_jess/jess/Token")
+	c.Add(dataEquals).Add(runTests)
+	return c
+}
+
+// OctNodeClass builds the _227_mtrt FindTreeNode analog: point-in-box
+// descent through a flattened octree (the pointer-chasing control flow of
+// Table 4's FindTreeNode). Node i occupies nodes[14i..14i+14):
+// min x/y/z, max x/y/z, then eight child indices (-1 = none).
+func OctNodeClass() *classfile.Class {
+	pool := classfile.NewConstantPool()
+
+	// int FindTreeNode(double[] nodes, double[] p)
+	// locals: 0=nodes 1=p 2=cur 3=k 4=d 5=child 6=base 7=childBase
+	find := build(pool, methodSpec{
+		Name: "FindTreeNode", Argc: 2, Returns: true, MaxLocals: 8,
+	}, func(a *bytecode.Assembler) {
+		a.
+			// root containment check
+			PushInt(0).IStore(4).
+			Label("rootdims").
+			ILoad(4).PushInt(3).Branch(bytecode.IfIcmpge, "descend").
+			ALoad(1).ILoad(4).Op(bytecode.Daload).
+			ALoad(0).ILoad(4).Op(bytecode.Daload).
+			Op(bytecode.Dcmpl).Branch(bytecode.Iflt, "outside").
+			ALoad(1).ILoad(4).Op(bytecode.Daload).
+			ALoad(0).PushInt(3).ILoad(4).Op(bytecode.Iadd).Op(bytecode.Daload).
+			Op(bytecode.Dcmpg).Branch(bytecode.Ifgt, "outside").
+			Iinc(4, 1).
+			Branch(bytecode.Goto, "rootdims").
+			Label("outside").
+			PushInt(-1).Op(bytecode.Ireturn).
+			Label("descend").
+			PushInt(0).IStore(2).
+			Label("node").
+			ILoad(2).PushInt(14).Op(bytecode.Imul).IStore(6).
+			PushInt(0).IStore(3).
+			Label("kids").
+			ILoad(3).PushInt(8).Branch(bytecode.IfIcmpge, "leaf").
+			// child = (int) nodes[base+6+k]
+			ALoad(0).ILoad(6).PushInt(6).Op(bytecode.Iadd).ILoad(3).Op(bytecode.Iadd).
+			Op(bytecode.Daload).Op(bytecode.D2i).IStore(5).
+			ILoad(5).Branch(bytecode.Iflt, "nextkid").
+			ILoad(5).PushInt(14).Op(bytecode.Imul).IStore(7).
+			// is p inside the child box?
+			PushInt(0).IStore(4).
+			Label("dims").
+			ILoad(4).PushInt(3).Branch(bytecode.IfIcmpge, "inside").
+			ALoad(1).ILoad(4).Op(bytecode.Daload).
+			ALoad(0).ILoad(7).ILoad(4).Op(bytecode.Iadd).Op(bytecode.Daload).
+			Op(bytecode.Dcmpl).Branch(bytecode.Iflt, "nextkid").
+			ALoad(1).ILoad(4).Op(bytecode.Daload).
+			ALoad(0).ILoad(7).PushInt(3).Op(bytecode.Iadd).ILoad(4).Op(bytecode.Iadd).
+			Op(bytecode.Daload).
+			Op(bytecode.Dcmpg).Branch(bytecode.Ifgt, "nextkid").
+			Iinc(4, 1).
+			Branch(bytecode.Goto, "dims").
+			Label("inside").
+			ILoad(5).IStore(2).
+			Branch(bytecode.Goto, "node").
+			Label("nextkid").
+			Iinc(3, 1).
+			Branch(bytecode.Goto, "kids").
+			Label("leaf").
+			ILoad(2).Op(bytecode.Ireturn)
+	})
+
+	c := classfile.NewClass("spec/benchmarks/_205_raytrace/OctNodeTree")
+	c.Add(find)
+	return c
+}
+
+// BuildOctree constructs a flattened octree over [0,16)³ with the given
+// depth, plus a Go-side reference descent for validation. Node i occupies
+// nodes[14i..14i+14): min x/y/z, max x/y/z, eight child indices (-1 none).
+func BuildOctree(depth int) (nodes []float64, find func(p []float64) int) {
+	type box struct{ min, max [3]float64 }
+	var boxes []box
+	var kids [][8]int
+
+	var build func(b box, d int) int
+	build = func(b box, d int) int {
+		idx := len(boxes)
+		boxes = append(boxes, b)
+		kids = append(kids, [8]int{-1, -1, -1, -1, -1, -1, -1, -1})
+		if d == 0 {
+			return idx
+		}
+		mid := [3]float64{
+			(b.min[0] + b.max[0]) / 2,
+			(b.min[1] + b.max[1]) / 2,
+			(b.min[2] + b.max[2]) / 2,
+		}
+		for k := 0; k < 8; k++ {
+			var c box
+			for dim := 0; dim < 3; dim++ {
+				if k&(1<<dim) == 0 {
+					c.min[dim], c.max[dim] = b.min[dim], mid[dim]
+				} else {
+					c.min[dim], c.max[dim] = mid[dim], b.max[dim]
+				}
+			}
+			child := build(c, d-1)
+			kids[idx][k] = child
+		}
+		return idx
+	}
+	root := box{max: [3]float64{16, 16, 16}}
+	build(root, depth)
+
+	nodes = make([]float64, 14*len(boxes))
+	for i, b := range boxes {
+		base := 14 * i
+		copy(nodes[base:], b.min[:])
+		copy(nodes[base+3:], b.max[:])
+		for k := 0; k < 8; k++ {
+			nodes[base+6+k] = float64(kids[i][k])
+		}
+	}
+	find = func(p []float64) int {
+		inBox := func(i int) bool {
+			b := boxes[i]
+			for d := 0; d < 3; d++ {
+				if p[d] < b.min[d] || p[d] > b.max[d] {
+					return false
+				}
+			}
+			return true
+		}
+		if !inBox(0) {
+			return -1
+		}
+		cur := 0
+	descend:
+		for {
+			for k := 0; k < 8; k++ {
+				c := kids[cur][k]
+				if c >= 0 && inBox(c) {
+					cur = c
+					continue descend
+				}
+			}
+			return cur
+		}
+	}
+	return nodes, find
+}

@@ -1,0 +1,45 @@
+package workload
+
+import "javaflow/internal/classfile"
+
+// AllSuites returns the complete benchmark roster: SciMark, crypto, both
+// compress eras, and the SpecJvm98 analogs — the populations behind
+// Tables 1–8 and 27–28.
+func AllSuites() []*Suite {
+	var out []*Suite
+	out = append(out, SciMarkSuites()...)
+	out = append(out, CryptoSuite())
+	out = append(out, CompressSuites()...)
+	out = append(out, Spec98Suites()...)
+	return out
+}
+
+// SuitesByEra partitions AllSuites by benchmark era.
+func SuitesByEra() (jvm2008, jvm98 []*Suite) {
+	for _, s := range AllSuites() {
+		if s.Era == "SpecJvm98" {
+			jvm98 = append(jvm98, s)
+		} else {
+			jvm2008 = append(jvm2008, s)
+		}
+	}
+	return jvm2008, jvm98
+}
+
+// NamedMethods returns every hand-built SPEC-analog method, deduplicated by
+// signature, in deterministic order.
+func NamedMethods() []*classfile.Method {
+	seen := make(map[string]bool)
+	var out []*classfile.Method
+	for _, s := range AllSuites() {
+		for _, m := range s.AllMethods() {
+			sig := m.Signature()
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"testing"
+
+	"javaflow/internal/jvm"
+)
+
+func TestSha160MatchesStdlib(t *testing.T) {
+	s := CryptoSuite()
+	vm := newVM(t, s)
+	sha := s.method("gnu/java/security/hash/Sha160", "sha")
+
+	// One-block message "abc" with SHA-1 padding, as 16 big-endian words.
+	var block [64]byte
+	copy(block[:], "abc")
+	block[3] = 0x80
+	binary.BigEndian.PutUint64(block[56:], 24) // bit length
+	words := make([]int64, 16)
+	for i := 0; i < 16; i++ {
+		words[i] = int64(int32(binary.BigEndian.Uint32(block[4*i:])))
+	}
+
+	state := vm.NewIntArray([]int64{
+		0x67452301, u32(0xEFCDAB89), u32(0x98BADCFE),
+		0x10325476, u32(0xC3D2E1F0),
+	})
+	if _, err := vm.Invoke(sha, state, vm.NewIntArray(words)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := vm.IntArrayData(state)
+
+	want := sha1.Sum([]byte("abc"))
+	for i := 0; i < 5; i++ {
+		w := int64(int32(binary.BigEndian.Uint32(want[4*i:])))
+		if got[i] != w {
+			t.Fatalf("digest word %d = %08x, want %08x", i, uint32(got[i]), uint32(w))
+		}
+	}
+}
+
+func TestMPNMulMatchesBigInt(t *testing.T) {
+	s := CryptoSuite()
+	vm := newVM(t, s)
+	mul := s.method("gnu/java/math/MPN", "mul")
+
+	// 4-limb × 3-limb little-endian multiply, checked against Go uint64
+	// schoolbook arithmetic.
+	x := []int64{u32(0xFFFFFFFF), 0x12345678, u32(0x9ABCDEF0), 7}
+	y := []int64{u32(0x89ABCDEF), 0x1000, u32(0xFFFFFFFE)}
+	dest := vm.NewIntArray(make([]int64, len(x)+len(y)))
+	_, err := vm.Invoke(mul, dest, vm.NewIntArray(x), jvm.Int(int64(len(x))),
+		vm.NewIntArray(y), jvm.Int(int64(len(y))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := vm.IntArrayData(dest)
+
+	want := make([]uint32, len(x)+len(y))
+	for j := range y {
+		var carry uint64
+		yl := uint64(uint32(y[j]))
+		for i := range x {
+			t64 := uint64(uint32(x[i]))*yl + uint64(want[i+j]) + carry
+			want[i+j] = uint32(t64)
+			carry = t64 >> 32
+		}
+		want[len(x)+j] = uint32(carry)
+	}
+	for i := range want {
+		if uint32(got[i]) != want[i] {
+			t.Fatalf("limb %d = %08x, want %08x", i, uint32(got[i]), want[i])
+		}
+	}
+}
+
+func TestMPNSubmulMatchesReference(t *testing.T) {
+	s := CryptoSuite()
+	vm := newVM(t, s)
+	submul := s.method("gnu/java/math/MPN", "submul_1")
+
+	destInit := []int64{u32(0xDEADBEEF), 0x01234567, u32(0x89ABCDEF), 0x7FFFFFFF}
+	x := []int64{u32(0xFFFFFFFF), 2, u32(0x80000000), 5}
+	const y = 0x1234
+	dest := vm.NewIntArray(destInit)
+
+	res, err := vm.Invoke(submul, dest, vm.NewIntArray(x),
+		jvm.Int(int64(len(x))), jvm.Int(y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := vm.IntArrayData(dest)
+
+	// Reference: dest -= x*y limb-wise with borrow propagation.
+	want := make([]uint32, len(x))
+	var carry uint64
+	for j := range x {
+		prod := uint64(uint32(x[j]))*uint64(y) + carry
+		lo := uint32(prod)
+		carry = prod >> 32
+		d := uint32(destInit[j])
+		r := d - lo
+		if r > d {
+			carry++
+		}
+		want[j] = r
+	}
+	for i := range want {
+		if uint32(got[i]) != want[i] {
+			t.Fatalf("limb %d = %08x, want %08x", i, uint32(got[i]), want[i])
+		}
+	}
+	if uint64(uint32(res.I)) != carry {
+		t.Fatalf("borrow = %d, want %d", uint32(res.I), carry)
+	}
+}
+
+func TestCompressRoundTripAndRatio(t *testing.T) {
+	for _, s := range CompressSuites() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			vm := newVM(t, s)
+			if err := s.Run(vm, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestShellSortAndCompare(t *testing.T) {
+	suites := Spec98Suites()
+	var db *Suite
+	for _, s := range suites {
+		if s.Name == "_209_db" {
+			db = s
+		}
+	}
+	vm := newVM(t, db)
+	compareTo := db.method("spec/benchmarks/_209_db/Database", "compareTo")
+
+	cases := []struct {
+		a, b []int64
+		sign int
+	}{
+		{[]int64{1, 2, 3}, []int64{1, 2, 3}, 0},
+		{[]int64{1, 2, 3}, []int64{1, 2, 4}, -1},
+		{[]int64{1, 3}, []int64{1, 2, 9}, 1},
+		{[]int64{1, 2}, []int64{1, 2, 9}, -1},
+		{[]int64{}, []int64{}, 0},
+	}
+	for _, c := range cases {
+		got, err := vm.Invoke(compareTo, vm.NewIntArray(c.a), vm.NewIntArray(c.b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sign := 0
+		if got.I > 0 {
+			sign = 1
+		} else if got.I < 0 {
+			sign = -1
+		}
+		if sign != c.sign {
+			t.Errorf("compareTo(%v,%v) sign = %d, want %d", c.a, c.b, sign, c.sign)
+		}
+	}
+}
+
+func TestAllSuitesRun(t *testing.T) {
+	for _, s := range AllSuites() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			vm := newVM(t, s)
+			if err := s.Run(vm, 1); err != nil {
+				t.Fatal(err)
+			}
+			if vm.Profile.TotalOps() == 0 {
+				t.Fatal("no profile data")
+			}
+		})
+	}
+}
+
+func TestNamedMethodsPopulation(t *testing.T) {
+	methods := NamedMethods()
+	if len(methods) < 15 {
+		t.Fatalf("only %d named methods, want the full SPEC-analog roster", len(methods))
+	}
+	seen := make(map[string]bool)
+	for _, m := range methods {
+		sig := m.Signature()
+		if seen[sig] {
+			t.Errorf("duplicate method %s", sig)
+		}
+		seen[sig] = true
+		if m.MaxStack == 0 {
+			t.Errorf("%s has MaxStack 0 (not verified?)", sig)
+		}
+	}
+}
+
+func TestJackScannerCountsTokens(t *testing.T) {
+	var jack *Suite
+	for _, s := range Spec98Suites() {
+		if s.Name == "_228_jack" {
+			jack = s
+		}
+	}
+	vm := newVM(t, jack)
+	scan := jack.method("spec/benchmarks/_228_jack/TokenEngine", "getNextTokenFromStream")
+	// "ab 12, c" -> classes: 1 1 0 2 2 3 0 1 = tokens: ab, 12, ',', c = 4
+	classes := []int64{1, 1, 0, 2, 2, 3, 0, 1}
+	got, err := vm.Invoke(scan, vm.NewIntArray(classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.I != 4 {
+		t.Errorf("token count = %d, want 4", got.I)
+	}
+}
+
+// u32 reinterprets a 32-bit pattern as a Java int value.
+func u32(v uint32) int64 { return int64(int32(v)) }
+
+func TestJessDataEquals(t *testing.T) {
+	var jess *Suite
+	for _, s := range Spec98Suites() {
+		if s.Name == "_202_jess" {
+			jess = s
+		}
+	}
+	vm := newVM(t, jess)
+	de := jess.method("spec/benchmarks/_202_jess/jess/Token", "data_equals")
+	cases := []struct {
+		a, b []int64
+		want int64
+	}{
+		{[]int64{1, 2, 3}, []int64{1, 2, 3}, 1},
+		{[]int64{1, 2, 3}, []int64{1, 2, 4}, 0},
+		{[]int64{1, 2}, []int64{1, 2, 3}, 0},
+		{[]int64{}, []int64{}, 1},
+	}
+	for _, c := range cases {
+		got, err := vm.Invoke(de, vm.NewIntArray(c.a), vm.NewIntArray(c.b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.I != c.want {
+			t.Errorf("data_equals(%v,%v) = %d, want %d", c.a, c.b, got.I, c.want)
+		}
+	}
+}
+
+func TestFindTreeNodeMatchesReference(t *testing.T) {
+	var mtrt *Suite
+	for _, s := range Spec98Suites() {
+		if s.Name == "_227_mtrt" {
+			mtrt = s
+		}
+	}
+	vm := newVM(t, mtrt)
+	find := mtrt.method("spec/benchmarks/_205_raytrace/OctNodeTree", "FindTreeNode")
+	nodes, ref := BuildOctree(3)
+	na := vm.NewDoubleArray(nodes)
+
+	probes := [][]float64{
+		{0.1, 0.1, 0.1},
+		{15.9, 15.9, 15.9},
+		{8.01, 3.2, 12.7},
+		{7.99, 8.01, 0.5},
+		{-1, 5, 5}, // outside
+	}
+	for _, p := range probes {
+		got, err := vm.Invoke(find, na, vm.NewDoubleArray(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := ref(p); got.I != int64(want) {
+			t.Errorf("FindTreeNode(%v) = %d, want %d", p, got.I, want)
+		}
+	}
+}
