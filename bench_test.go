@@ -9,12 +9,15 @@
 package javaflow_test
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 
 	"javaflow"
 	"javaflow/internal/experiments"
 	"javaflow/internal/fabric"
+	"javaflow/internal/serve"
 	"javaflow/internal/sim"
 	"javaflow/internal/workload"
 )
@@ -211,4 +214,76 @@ func BenchmarkAblationSerialRatio(b *testing.B) {
 			b.Log("\n" + tbl.String())
 		}
 	}
+}
+
+// BenchmarkDeploymentCacheSweep measures the deployment cache's effect on
+// repeated population sweeps: "uncached" deploys every method from scratch
+// each iteration (the seed's per-run pipeline), "cached" serves deployments
+// from a warmed serve.DeploymentCache. The delta is pure Figure 20 +
+// Figure 22 work amortized away.
+func BenchmarkDeploymentCacheSweep(b *testing.B) {
+	methods := workload.NamedMethods()
+	cfg := heteroConfig(b)
+	const maxCycles = 200_000
+
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// A fresh cache every iteration keeps each sweep cold.
+			sched := serve.NewScheduler(serve.SchedulerOptions{Workers: 1, MaxMeshCycles: maxCycles})
+			if _, err := sched.RunAll(context.Background(), cfg, methods); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		sched := serve.NewScheduler(serve.SchedulerOptions{Workers: 1, MaxMeshCycles: maxCycles})
+		if _, err := sched.RunAll(context.Background(), cfg, methods); err != nil {
+			b.Fatal(err) // warm the cache outside the timed loop
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.RunAll(context.Background(), cfg, methods); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDeployPipeline isolates the work the cache saves: the verify +
+// load + resolve pipeline alone, cold versus cached.
+func BenchmarkDeployPipeline(b *testing.B) {
+	methods := workload.NamedMethods()
+	cfg := heteroConfig(b)
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, m := range methods {
+				if _, err := sim.DeployMethod(cfg, m); err != nil {
+					var le *fabric.LoadError
+					if !errors.As(err, &le) {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		cache := serve.NewDeploymentCache(0)
+		for _, m := range methods {
+			cache.ResolveMethod(cfg, m) // nolint:errcheck — warmup; rejects are cached too
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, m := range methods {
+				if _, err := cache.ResolveMethod(cfg, m); err != nil {
+					var le *fabric.LoadError
+					if !errors.As(err, &le) {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
 }

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -30,6 +31,7 @@ func main() {
 		gen       = flag.Int("gen", 1580, "generated-method population size")
 		seed      = flag.Int64("seed", 2014, "generated-method population seed")
 		cycles    = flag.Int("maxcycles", 400_000, "per-execution mesh-cycle timeout")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size (1 = serial)")
 	)
 	flag.Parse()
 
@@ -38,6 +40,7 @@ func main() {
 	ctx.GenCount = *gen
 	ctx.Seed = *seed
 	ctx.MaxMeshCycles = *cycles
+	ctx.Workers = *workers
 
 	if *ablations {
 		tables, err := ctx.Ablations()

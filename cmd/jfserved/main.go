@@ -1,0 +1,85 @@
+// Command jfserved is the JavaFlow simulation daemon: it loads the method
+// population once, keeps deployments hot in a sharded LRU cache, and serves
+// concurrent simulation traffic over HTTP.
+//
+// Usage:
+//
+//	jfserved                       # serve :8077 with the default corpus
+//	jfserved -addr :9000 -workers 8 -cache 4096
+//	jfserved -gen 400              # smaller generated population (faster boot)
+//
+// Endpoints:
+//
+//	POST /v1/run      {"config":"Hetero2","method":"scimark/fft/FFT.bitreverse/1"}
+//	POST /v1/batch    {"configs":["Baseline"],"summaryOnly":true}
+//	GET  /v1/configs
+//	GET  /v1/methods
+//	GET  /metrics
+//	GET  /healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"javaflow/internal/serve"
+	"javaflow/internal/sim"
+	"javaflow/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8077", "listen address")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
+		cacheN  = flag.Int("cache", serve.DefaultCacheCapacity, "deployment cache capacity (entries)")
+		gen     = flag.Int("gen", 1580, "generated-method population size")
+		seed    = flag.Int64("seed", 2014, "generated-method population seed")
+		cycles  = flag.Int("maxcycles", 400_000, "default per-execution mesh-cycle timeout")
+		drain   = flag.Duration("drain", 5*time.Minute, "graceful-shutdown drain window for in-flight requests")
+	)
+	flag.Parse()
+
+	methods := workload.Corpus(*seed, *gen)
+	sched := serve.NewScheduler(serve.SchedulerOptions{
+		Workers:       *workers,
+		Cache:         serve.NewDeploymentCache(*cacheN),
+		MaxMeshCycles: *cycles,
+	})
+	svc := serve.NewService(sched, sim.Configurations(), methods)
+	srv := serve.NewServer(*addr, svc)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("jfserved: %d methods, %d configurations, %d workers, cache %d — listening on %s\n",
+		len(methods), len(svc.Configs()), *workers, *cacheN, *addr)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "jfserved: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Println("jfserved: shutting down")
+		// The drain window must accommodate a full in-flight batch sweep
+		// (the server's write timeout allows one to run for minutes).
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "jfserved: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module javaflow
+
+go 1.24

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"javaflow/internal/classfile"
@@ -24,14 +25,13 @@ func namedMethods() []*classfile.Method { return workload.NamedMethods() }
 func (c *Context) AblationSerialRatio() (*report.Table, error) {
 	t := report.New("Ablation A1: serial clocks per mesh clock (compact fabric, named methods)",
 		"Serial/Mesh", "IPC-Mean", "FM vs drain")
-	runner := &sim.Runner{MaxMeshCycles: c.MaxMeshCycles}
 	f := fabric.NewFabric(10, fabric.PatternCompact)
 
 	ratios := []int{sim.DrainSerial, 16, 10, 8, 4, 2, 1}
 	var base float64
 	for _, r := range ratios {
 		cfg := sim.Config{Name: fmt.Sprintf("serial=%d", r), Fabric: f, SerialPerMesh: r}
-		cr, err := runner.RunAll(cfg, namedMethods())
+		cr, err := c.Scheduler().RunAll(context.Background(), cfg, namedMethods())
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +53,6 @@ func (c *Context) AblationSerialRatio() (*report.Table, error) {
 func (c *Context) AblationMeshWidth() (*report.Table, error) {
 	t := report.New("Ablation A2: mesh width (2 serial clocks/mesh, named methods)",
 		"Width", "IPC-Mean", "FM vs width 10")
-	runner := &sim.Runner{MaxMeshCycles: c.MaxMeshCycles}
 	var base float64
 	widths := []int{10, 5, 8, 16, 32}
 	results := make(map[int]float64)
@@ -63,7 +62,7 @@ func (c *Context) AblationMeshWidth() (*report.Table, error) {
 			Fabric:        fabric.NewFabric(w, fabric.PatternCompact),
 			SerialPerMesh: 2,
 		}
-		cr, err := runner.RunAll(cfg, namedMethods())
+		cr, err := c.Scheduler().RunAll(context.Background(), cfg, namedMethods())
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +80,6 @@ func (c *Context) AblationMeshWidth() (*report.Table, error) {
 func (c *Context) AblationHeteroPattern() (*report.Table, error) {
 	t := report.New("Ablation A3: heterogeneous row orderings (2 serial clocks/mesh)",
 		"Pattern", "IPC-Mean", "Nodes/Inst")
-	runner := &sim.Runner{MaxMeshCycles: c.MaxMeshCycles}
 	patterns := []struct {
 		name string
 		p    []fabric.NodeKind
@@ -106,7 +104,7 @@ func (c *Context) AblationHeteroPattern() (*report.Table, error) {
 			Fabric:        fabric.NewFabric(10, pat.p),
 			SerialPerMesh: 2,
 		}
-		cr, err := runner.RunAll(cfg, namedMethods())
+		cr, err := c.Scheduler().RunAll(context.Background(), cfg, namedMethods())
 		if err != nil {
 			return nil, err
 		}

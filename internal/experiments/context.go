@@ -7,12 +7,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sort"
+	"runtime"
 
 	"javaflow/internal/classfile"
 	"javaflow/internal/dataflow"
 	"javaflow/internal/jvm"
+	"javaflow/internal/serve"
 	"javaflow/internal/sim"
 	"javaflow/internal/workload"
 )
@@ -27,7 +29,11 @@ type Context struct {
 	GenCount int
 	// MaxMeshCycles bounds each simulated execution.
 	MaxMeshCycles int
+	// Workers sizes the simulation worker pool the sweeps fan out over
+	// (0 = GOMAXPROCS, 1 = serial).
+	Workers int
 
+	sched     *serve.Scheduler
 	suites    []*workload.Suite
 	profiles  map[string]*jvm.Profile // suite name -> dynamic profile
 	corpus    []*classfile.Method
@@ -45,7 +51,22 @@ func NewContext() *Context {
 		Seed:          2014,
 		GenCount:      1580,
 		MaxMeshCycles: 400_000,
+		Workers:       runtime.GOMAXPROCS(0),
 	}
+}
+
+// Scheduler returns the context's simulation scheduler (built on first
+// use): a bounded worker pool over a deployment cache shared by every
+// sweep, so each (method, configuration) deployment happens once across
+// all tables and ablations.
+func (c *Context) Scheduler() *serve.Scheduler {
+	if c.sched == nil {
+		c.sched = serve.NewScheduler(serve.SchedulerOptions{
+			Workers:       c.Workers,
+			MaxMeshCycles: c.MaxMeshCycles,
+		})
+	}
+	return c.sched
 }
 
 // Suites returns the benchmark roster.
@@ -80,17 +101,7 @@ func (c *Context) Profile(s *workload.Suite) (*jvm.Profile, error) {
 // method plus the generated methods.
 func (c *Context) Corpus() []*classfile.Method {
 	if c.corpus == nil {
-		c.corpus = workload.NamedMethods()
-		for _, cls := range workload.Generate(workload.GenConfig{Seed: c.Seed, Count: c.GenCount}) {
-			names := make([]string, 0, len(cls.Methods))
-			for n := range cls.Methods {
-				names = append(names, n)
-			}
-			sort.Strings(names)
-			for _, n := range names {
-				c.corpus = append(c.corpus, cls.Methods[n])
-			}
-		}
+		c.corpus = workload.Corpus(c.Seed, c.GenCount)
 	}
 	return c.corpus
 }
@@ -125,7 +136,10 @@ func (c *Context) HotSet() map[string]bool {
 	return c.hotSet
 }
 
-// SimResults runs the full population on one configuration (cached).
+// SimResults runs the full population on one configuration (cached),
+// fanning the sweep across the scheduler's worker pool with deployments
+// served from the shared cache. Results are identical to the serial
+// sim.Runner path.
 func (c *Context) SimResults(cfg sim.Config) (*sim.ConfigResults, error) {
 	if c.simResult == nil {
 		c.simResult = make(map[string]*sim.ConfigResults)
@@ -133,8 +147,7 @@ func (c *Context) SimResults(cfg sim.Config) (*sim.ConfigResults, error) {
 	if r, ok := c.simResult[cfg.Name]; ok {
 		return r, nil
 	}
-	runner := &sim.Runner{MaxMeshCycles: c.MaxMeshCycles}
-	cr, err := runner.RunAll(cfg, c.Corpus())
+	cr, err := c.Scheduler().RunAll(context.Background(), cfg, c.Corpus())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"javaflow/internal/classfile"
+	"javaflow/internal/core"
+	"javaflow/internal/fabric"
+	"javaflow/internal/sim"
+)
+
+// A DeploymentCache backs both deployment seams: core.Machine.SetProvider
+// and sim.Runner.Resolve.
+var _ core.DeploymentProvider = (*DeploymentCache)(nil)
+
+// cacheShards fixes the shard count; keys are spread by FNV-1a so
+// concurrent sweeps over disjoint methods rarely contend on one lock.
+const cacheShards = 16
+
+// DefaultCacheCapacity holds a full Chapter-7 sweep: ~1,600 methods × 6
+// configurations, with headroom for ad-hoc requests.
+const DefaultCacheCapacity = 12288
+
+// cacheKey identifies one deployment: the method signature and the
+// configuration name it was deployed under.
+type cacheKey struct {
+	Signature string
+	Config    string
+}
+
+// cacheEntry memoizes the full deploy outcome. Failures (LoadError for
+// switch/jsr methods, resolution errors) are cached too: a population sweep
+// re-encounters the same rejected methods on every configuration, and
+// re-verifying them per run would defeat the cache for exactly the methods
+// that are most expensive to reject. fab records the fabric the deploy ran
+// against so failed entries (res == nil) can still be geometry-checked.
+type cacheEntry struct {
+	res *fabric.Resolution
+	err error
+	fab *fabric.Fabric
+}
+
+// cacheShard is one LRU segment.
+type cacheShard struct {
+	mu    sync.Mutex
+	order *list.List // front = most recently used; values are *cacheItem
+	items map[cacheKey]*list.Element
+}
+
+type cacheItem struct {
+	key   cacheKey
+	entry cacheEntry
+}
+
+// DeploymentCache is a sharded LRU of verified, loaded, address-resolved
+// methods keyed by (method signature, configuration name). A hit skips the
+// whole Figure 20 + Figure 22 pipeline; the cached Resolution is immutable
+// and shared freely across concurrent executions. Because configuration
+// names identify fabric geometry by convention only, each hit is guarded by
+// a structural fabric comparison — a name collision across different
+// geometries degrades to a miss instead of returning a wrong placement.
+type DeploymentCache struct {
+	shards   [cacheShards]cacheShard
+	perShard int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// NewDeploymentCache builds a cache bounded at capacity entries (0 uses
+// DefaultCacheCapacity). The bound is split evenly across shards.
+func NewDeploymentCache(capacity int) *DeploymentCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	perShard := (capacity + cacheShards - 1) / cacheShards
+	c := &DeploymentCache{perShard: perShard}
+	for i := range c.shards {
+		c.shards[i].order = list.New()
+		c.shards[i].items = make(map[cacheKey]*list.Element)
+	}
+	return c
+}
+
+// shardFor spreads keys across shards with FNV-1a over both key fields.
+func (c *DeploymentCache) shardFor(k cacheKey) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.Signature); i++ {
+		h ^= uint64(k.Signature[i])
+		h *= prime64
+	}
+	h ^= 0xff
+	h *= prime64
+	for i := 0; i < len(k.Config); i++ {
+		h ^= uint64(k.Config[i])
+		h *= prime64
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// sameFabric reports whether a cached placement's fabric is structurally
+// identical to the requesting configuration's (width, collapse, pattern).
+func sameFabric(a, b *fabric.Fabric) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Width != b.Width || a.Collapsed != b.Collapsed || len(a.Pattern) != len(b.Pattern) {
+		return false
+	}
+	for i := range a.Pattern {
+		if a.Pattern[i] != b.Pattern[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ResolveMethod returns the deployment of m under cfg, computing and
+// memoizing it on first use. It implements core.DeploymentProvider and
+// plugs directly into sim.Runner.Resolve.
+func (c *DeploymentCache) ResolveMethod(cfg sim.Config, m *classfile.Method) (*fabric.Resolution, error) {
+	key := cacheKey{Signature: m.Signature(), Config: cfg.Name}
+	shard := c.shardFor(key)
+
+	shard.mu.Lock()
+	if el, ok := shard.items[key]; ok {
+		it := el.Value.(*cacheItem)
+		if sameFabric(it.entry.fab, cfg.Fabric) {
+			shard.order.MoveToFront(el)
+			entry := it.entry
+			shard.mu.Unlock()
+			c.hits.Add(1)
+			return entry.res, entry.err
+		}
+		// Same name, different geometry: drop the stale entry.
+		shard.order.Remove(el)
+		delete(shard.items, key)
+	}
+	shard.mu.Unlock()
+	c.misses.Add(1)
+
+	// Deploy outside the shard lock: resolution is pure, so concurrent
+	// duplicate work is wasted effort at worst, never a correctness issue.
+	res, err := sim.DeployMethod(cfg, m)
+	entry := cacheEntry{res: res, err: err, fab: cfg.Fabric}
+
+	shard.mu.Lock()
+	if el, ok := shard.items[key]; ok {
+		// Another goroutine won the race; keep its entry.
+		shard.order.MoveToFront(el)
+		entry = el.Value.(*cacheItem).entry
+	} else {
+		shard.items[key] = shard.order.PushFront(&cacheItem{key: key, entry: entry})
+		for shard.order.Len() > c.perShard {
+			oldest := shard.order.Back()
+			shard.order.Remove(oldest)
+			delete(shard.items, oldest.Value.(*cacheItem).key)
+			c.evictions.Add(1)
+		}
+	}
+	shard.mu.Unlock()
+	return entry.res, entry.err
+}
+
+// Len returns the live entry count across all shards.
+func (c *DeploymentCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].order.Len()
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// Stats snapshots the cache counters.
+func (c *DeploymentCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}

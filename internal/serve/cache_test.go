@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"javaflow/internal/classfile"
+	"javaflow/internal/core"
+	"javaflow/internal/fabric"
+	"javaflow/internal/sim"
+	"javaflow/internal/workload"
+)
+
+// testConfig returns the named Table 15 configuration.
+func testConfig(t testing.TB, name string) sim.Config {
+	t.Helper()
+	for _, cfg := range sim.Configurations() {
+		if cfg.Name == name {
+			return cfg
+		}
+	}
+	t.Fatalf("no configuration %q", name)
+	return sim.Config{}
+}
+
+// hostableMethods returns named corpus methods the compact fabric accepts.
+func hostableMethods(t testing.TB, n int) []*classfile.Method {
+	t.Helper()
+	cfg := testConfig(t, "Compact2")
+	var out []*classfile.Method
+	for _, m := range workload.NamedMethods() {
+		if _, err := sim.DeployMethod(cfg, m); err == nil {
+			out = append(out, m)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("only %d hostable methods, want %d", len(out), n)
+	}
+	return out
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	cache := NewDeploymentCache(64)
+	cfg := testConfig(t, "Compact2")
+	methods := hostableMethods(t, 3)
+
+	for _, m := range methods {
+		if _, err := cache.ResolveMethod(cfg, m); err != nil {
+			t.Fatalf("resolve %s: %v", m.Signature(), err)
+		}
+	}
+	st := cache.Stats()
+	if st.Hits != 0 || st.Misses != 3 || st.Entries != 3 {
+		t.Fatalf("after cold pass: %+v, want 0 hits / 3 misses / 3 entries", st)
+	}
+
+	for i := 0; i < 2; i++ {
+		for _, m := range methods {
+			res, err := cache.ResolveMethod(cfg, m)
+			if err != nil {
+				t.Fatalf("resolve %s: %v", m.Signature(), err)
+			}
+			if res.Placement.Method != m {
+				t.Fatalf("cached resolution is for a different method")
+			}
+		}
+	}
+	st = cache.Stats()
+	if st.Hits != 6 || st.Misses != 3 {
+		t.Fatalf("after warm passes: %+v, want 6 hits / 3 misses", st)
+	}
+
+	// A different configuration name is a distinct cache line.
+	other := testConfig(t, "Sparse2")
+	if _, err := cache.ResolveMethod(other, methods[0]); err != nil {
+		t.Fatalf("resolve on Sparse2: %v", err)
+	}
+	st = cache.Stats()
+	if st.Misses != 4 {
+		t.Fatalf("distinct config should miss: %+v", st)
+	}
+}
+
+func TestCacheCachesFailures(t *testing.T) {
+	cache := NewDeploymentCache(64)
+	cfg := testConfig(t, "Compact2")
+
+	var rejected *classfile.Method
+	for _, m := range workload.NamedMethods() {
+		if _, err := sim.DeployMethod(cfg, m); err != nil {
+			var le *fabric.LoadError
+			if errors.As(err, &le) {
+				rejected = m
+				break
+			}
+		}
+	}
+	if rejected == nil {
+		t.Skip("no fabric-rejected method in the named corpus")
+	}
+
+	_, err1 := cache.ResolveMethod(cfg, rejected)
+	_, err2 := cache.ResolveMethod(cfg, rejected)
+	if err1 == nil || err2 == nil {
+		t.Fatalf("expected load errors, got %v / %v", err1, err2)
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("failure should be memoized: %+v", st)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// Capacity 16 = exactly one entry per shard: any shard receiving a
+	// second key must evict its first.
+	cache := NewDeploymentCache(cacheShards)
+	cfg := testConfig(t, "Compact2")
+	methods := hostableMethods(t, 8)
+
+	for round := 0; round < 4; round++ {
+		for _, m := range methods {
+			if _, err := cache.ResolveMethod(cfg, m); err != nil {
+				t.Fatalf("resolve: %v", err)
+			}
+		}
+	}
+	st := cache.Stats()
+	if st.Entries > cacheShards {
+		t.Fatalf("cache exceeded its bound: %+v", st)
+	}
+	if st.Evictions == 0 && st.Entries == cacheShards {
+		// All 8 methods landed on distinct shards — nothing to evict;
+		// force a collision by reusing one shard with many configs.
+		m := methods[0]
+		for i := 0; i < 4; i++ {
+			c := cfg
+			c.Name = fmt.Sprintf("%s-v%d", cfg.Name, i)
+			if _, err := cache.ResolveMethod(c, m); err != nil {
+				t.Fatalf("resolve: %v", err)
+			}
+		}
+		if cache.Stats().Entries > cacheShards {
+			t.Fatalf("cache exceeded its bound after collisions: %+v", cache.Stats())
+		}
+	}
+}
+
+func TestCacheFabricMismatchGuard(t *testing.T) {
+	cache := NewDeploymentCache(64)
+	methods := hostableMethods(t, 1)
+	m := methods[0]
+
+	a := sim.Config{Name: "shared-name", Fabric: fabric.NewFabric(10, fabric.PatternCompact), SerialPerMesh: 2}
+	b := sim.Config{Name: "shared-name", Fabric: fabric.NewFabric(10, fabric.PatternSparse), SerialPerMesh: 2}
+
+	resA, err := cache.ResolveMethod(a, m)
+	if err != nil {
+		t.Fatalf("resolve a: %v", err)
+	}
+	resB, err := cache.ResolveMethod(b, m)
+	if err != nil {
+		t.Fatalf("resolve b: %v", err)
+	}
+	if resB.Placement.Fabric == resA.Placement.Fabric {
+		t.Fatalf("name collision across fabrics returned the stale placement")
+	}
+	if got, want := resB.Placement.MaxNode, 2*resA.Placement.MaxNode-1; got != want {
+		t.Fatalf("sparse placement span = %d, want %d (stale compact entry served?)", got, want)
+	}
+	// Same pointer geometry hits again.
+	if _, err := cache.ResolveMethod(b, m); err != nil {
+		t.Fatalf("resolve b again: %v", err)
+	}
+	if st := cache.Stats(); st.Hits != 1 {
+		t.Fatalf("structural re-check should hit once: %+v", st)
+	}
+}
+
+// TestCacheBacksCoreMachine exercises the core.DeploymentProvider seam: a
+// Machine routed through the cache deploys identically to a direct one and
+// repeated deployments hit instead of re-running the pipeline.
+func TestCacheBacksCoreMachine(t *testing.T) {
+	cache := NewDeploymentCache(64)
+	cfg := testConfig(t, "Compact2")
+	m := hostableMethods(t, 1)[0]
+
+	direct := core.NewMachine(cfg)
+	want, err := direct.Deploy(m)
+	if err != nil {
+		t.Fatalf("direct deploy: %v", err)
+	}
+
+	cached := core.NewMachine(cfg)
+	cached.SetProvider(cache)
+	var prev *core.Deployment
+	for i := 0; i < 3; i++ {
+		d, err := cached.Deploy(m)
+		if err != nil {
+			t.Fatalf("cached deploy %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(d.Resolution.Targets, want.Resolution.Targets) ||
+			!reflect.DeepEqual(d.Placement.NodeOf, want.Placement.NodeOf) {
+			t.Fatalf("cached deployment differs from direct deployment")
+		}
+		if prev != nil && d.Resolution != prev.Resolution {
+			t.Fatalf("repeat deploy did not reuse the cached resolution")
+		}
+		prev = d
+	}
+	if st := cache.Stats(); st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("cache stats = %+v, want 1 miss / 2 hits", st)
+	}
+
+	run, err := prev.ExecuteBoth()
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	wantRun, err := want.ExecuteBoth()
+	if err != nil {
+		t.Fatalf("execute direct: %v", err)
+	}
+	if run != wantRun {
+		t.Fatalf("execution through cached deployment differs:\n got %+v\nwant %+v", run, wantRun)
+	}
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"javaflow/internal/fabric"
+)
+
+// maxBodyBytes bounds request bodies; batch requests listing the full
+// population stay far below this.
+const maxBodyBytes = 4 << 20
+
+// RunRequest is the POST /v1/run body.
+type RunRequest struct {
+	Config string `json:"config"`
+	Method string `json:"method"`
+	// MaxMeshCycles bounds the execution (0 = server default).
+	MaxMeshCycles int `json:"maxMeshCycles"`
+}
+
+// errorPayload is the JSON error envelope.
+type errorPayload struct {
+	Error string `json:"error"`
+}
+
+// NewHandler builds the jfserved HTTP API over svc.
+//
+//	POST /v1/run      — one method on one configuration
+//	POST /v1/batch    — population sweep (methods × configs)
+//	GET  /v1/configs  — configuration registry
+//	GET  /v1/methods  — method registry
+//	GET  /metrics     — service counters + cache stats as JSON
+//	GET  /healthz     — liveness
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	metrics := svc.Scheduler().Metrics()
+
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		var req RunRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		payload, err := svc.Run(r.Context(), req.Config, req.Method, req.MaxMeshCycles)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, payload)
+	})
+
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := svc.Batch(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /v1/configs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.ConfigInfos())
+	})
+
+	mux.HandleFunc("GET /v1/methods", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.MethodInfos())
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, metrics.Snapshot(svc.Scheduler().Cache()))
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	return countRequests(metrics, mux)
+}
+
+// countRequests is the metrics middleware.
+func countRequests(m *Metrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.RecordRequest()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// decodeJSON parses the body into v, replying 400 on malformed input.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+// writeError maps service errors to HTTP statuses: unknown names are 404,
+// fabric-rejected methods 422, cancelled requests 499-style 503, anything
+// else 500.
+func writeError(w http.ResponseWriter, err error) {
+	var nf *NotFoundError
+	var le *fabric.LoadError
+	switch {
+	case errors.As(err, &nf):
+		writeJSON(w, http.StatusNotFound, errorPayload{Error: nf.Error()})
+	case errors.As(err, &le):
+		writeJSON(w, http.StatusUnprocessableEntity, errorPayload{Error: le.Error()})
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusServiceUnavailable, errorPayload{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorPayload{Error: err.Error()})
+	}
+}
+
+// writeJSON encodes v with the standard headers.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// NewServer wraps the handler in an http.Server with sane timeouts for a
+// long-lived daemon (batch sweeps can run minutes; write timeout is
+// generous rather than absent).
+func NewServer(addr string, svc *Service) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      30 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow bounds the sliding sample set percentiles are computed
+// over; at one sample per job, 4096 covers several recent sweeps.
+const latencyWindow = 4096
+
+// Metrics tracks service-level counters: request and job volume, cache
+// effectiveness, in-flight work, and recent-latency percentiles. All
+// methods are safe for concurrent use.
+type Metrics struct {
+	requests  atomic.Int64 // HTTP requests served
+	jobs      atomic.Int64 // simulation jobs completed
+	jobErrors atomic.Int64 // jobs that returned an error (incl. skips)
+	inFlight  atomic.Int64 // jobs currently executing
+
+	mu      sync.Mutex
+	samples []time.Duration // ring buffer of recent job latencies
+	next    int
+	filled  bool
+}
+
+// NewMetrics returns an empty metrics collector.
+func NewMetrics() *Metrics {
+	return &Metrics{samples: make([]time.Duration, latencyWindow)}
+}
+
+// RecordRequest counts one HTTP request.
+func (m *Metrics) RecordRequest() { m.requests.Add(1) }
+
+// JobStarted marks a simulation job in flight and returns its start time.
+func (m *Metrics) JobStarted() time.Time {
+	m.inFlight.Add(1)
+	return time.Now()
+}
+
+// JobFinished completes the accounting JobStarted opened.
+func (m *Metrics) JobFinished(start time.Time, err error) {
+	m.inFlight.Add(-1)
+	m.jobs.Add(1)
+	if err != nil {
+		m.jobErrors.Add(1)
+	}
+	d := time.Since(start)
+	m.mu.Lock()
+	m.samples[m.next] = d
+	m.next++
+	if m.next == len(m.samples) {
+		m.next = 0
+		m.filled = true
+	}
+	m.mu.Unlock()
+}
+
+// percentile returns the p-th percentile of sorted (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// MetricsSnapshot is the JSON shape of GET /metrics.
+type MetricsSnapshot struct {
+	Requests     int64      `json:"requests"`
+	Jobs         int64      `json:"jobs"`
+	JobErrors    int64      `json:"jobErrors"`
+	InFlight     int64      `json:"inFlight"`
+	P50LatencyMS float64    `json:"p50LatencyMs"`
+	P95LatencyMS float64    `json:"p95LatencyMs"`
+	Cache        CacheStats `json:"cache"`
+}
+
+// Snapshot captures the current counters plus the given cache's stats
+// (cache may be nil).
+func (m *Metrics) Snapshot(cache *DeploymentCache) MetricsSnapshot {
+	m.mu.Lock()
+	n := m.next
+	if m.filled {
+		n = len(m.samples)
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, m.samples[:n])
+	m.mu.Unlock()
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	snap := MetricsSnapshot{
+		Requests:     m.requests.Load(),
+		Jobs:         m.jobs.Load(),
+		JobErrors:    m.jobErrors.Load(),
+		InFlight:     m.inFlight.Load(),
+		P50LatencyMS: float64(percentile(sorted, 0.50)) / float64(time.Millisecond),
+		P95LatencyMS: float64(percentile(sorted, 0.95)) / float64(time.Millisecond),
+	}
+	if cache != nil {
+		snap.Cache = cache.Stats()
+	}
+	return snap
+}

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"javaflow/internal/classfile"
+	"javaflow/internal/fabric"
+	"javaflow/internal/sim"
+)
+
+// Job is one unit of schedulable work: execute one method on one
+// configuration under both branch policies.
+type Job struct {
+	Config sim.Config
+	Method *classfile.Method
+}
+
+// JobResult pairs a job with its outcome. Exactly one of Run/Err is
+// meaningful; Err carries *fabric.LoadError for methods the fabric
+// rejects and ctx.Err() for jobs cancelled before they started.
+type JobResult struct {
+	Job Job
+	Run sim.MethodRun
+	Err error
+}
+
+// SchedulerOptions configures a Scheduler.
+type SchedulerOptions struct {
+	// Workers bounds the worker pool (<=0 uses GOMAXPROCS).
+	Workers int
+	// Cache shares deployments across jobs (nil builds a private cache
+	// with the default capacity).
+	Cache *DeploymentCache
+	// Metrics receives per-job accounting (nil allocates a fresh one).
+	Metrics *Metrics
+	// MaxMeshCycles bounds each simulated execution — the per-job timeout
+	// in simulated time (<=0 uses sim.DefaultMaxMeshCycles).
+	MaxMeshCycles int
+}
+
+// Scheduler fans simulation jobs across a bounded goroutine pool, routing
+// every deployment through a shared DeploymentCache. Results are returned
+// in submission order regardless of completion order, so batch output is
+// deterministic and byte-identical to the serial sim.Runner path.
+type Scheduler struct {
+	workers       int
+	maxMeshCycles int
+	cache         *DeploymentCache
+	metrics       *Metrics
+}
+
+// NewScheduler builds a scheduler from opts.
+func NewScheduler(opts SchedulerOptions) *Scheduler {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewDeploymentCache(0)
+	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
+	maxCycles := opts.MaxMeshCycles
+	if maxCycles <= 0 {
+		maxCycles = sim.DefaultMaxMeshCycles
+	}
+	return &Scheduler{
+		workers:       workers,
+		maxMeshCycles: maxCycles,
+		cache:         cache,
+		metrics:       metrics,
+	}
+}
+
+// Cache exposes the scheduler's deployment cache.
+func (s *Scheduler) Cache() *DeploymentCache { return s.cache }
+
+// Metrics exposes the scheduler's metrics collector.
+func (s *Scheduler) Metrics() *Metrics { return s.metrics }
+
+// runner builds the per-call runner routed through the cache.
+func (s *Scheduler) runner(maxCycles int) *sim.Runner {
+	if maxCycles <= 0 {
+		maxCycles = s.maxMeshCycles
+	}
+	return &sim.Runner{
+		MaxMeshCycles: maxCycles,
+		Resolve: func(cfg sim.Config, m *classfile.Method) (*fabric.Resolution, error) {
+			return s.cache.ResolveMethod(cfg, m)
+		},
+	}
+}
+
+// RunMethod executes one job synchronously through the cache (no pool).
+func (s *Scheduler) RunMethod(ctx context.Context, cfg sim.Config, m *classfile.Method) (sim.MethodRun, error) {
+	return s.runMethodCycles(ctx, cfg, m, 0)
+}
+
+func (s *Scheduler) runMethodCycles(ctx context.Context, cfg sim.Config, m *classfile.Method, maxCycles int) (sim.MethodRun, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.MethodRun{}, err
+	}
+	start := s.metrics.JobStarted()
+	run, err := s.runner(maxCycles).RunMethod(cfg, m)
+	s.metrics.JobFinished(start, err)
+	return run, err
+}
+
+// RunBatch executes jobs across the worker pool and returns one result per
+// job, in submission order. Cancelling ctx stops the pool: jobs already
+// executing finish (the engine's mesh-cycle bound limits how long that
+// takes), jobs not yet started report ctx.Err().
+func (s *Scheduler) RunBatch(ctx context.Context, jobs []Job) []JobResult {
+	return s.runBatchCycles(ctx, jobs, 0)
+}
+
+func (s *Scheduler) runBatchCycles(ctx context.Context, jobs []Job, maxCycles int) []JobResult {
+	results := make([]JobResult, len(jobs))
+	for i, j := range jobs {
+		results[i].Job = j
+	}
+	if len(jobs) == 0 {
+		return results
+	}
+
+	indexes := make(chan int)
+	var wg sync.WaitGroup
+	workers := s.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				run, err := s.runMethodCycles(ctx, jobs[i].Config, jobs[i].Method, maxCycles)
+				results[i].Run = run
+				results[i].Err = err
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case indexes <- i:
+		case <-ctx.Done():
+			// Indexes from i on were never handed to a worker; jobs that
+			// were already delivered stamp ctx.Err() themselves via the
+			// per-job check in runMethodCycles.
+			for k := i; k < len(jobs); k++ {
+				results[k].Err = ctx.Err()
+			}
+			break feed
+		}
+	}
+	close(indexes)
+	wg.Wait()
+	return results
+}
+
+// Sweep fans a full cross product (methods × configs) across the pool and
+// returns results grouped by configuration, each group in method order —
+// the batch-submission shape POST /v1/batch and the Chapter-7 table sweeps
+// share.
+func (s *Scheduler) Sweep(ctx context.Context, configs []sim.Config, methods []*classfile.Method) [][]JobResult {
+	jobs := make([]Job, 0, len(configs)*len(methods))
+	for _, cfg := range configs {
+		for _, m := range methods {
+			jobs = append(jobs, Job{Config: cfg, Method: m})
+		}
+	}
+	flat := s.RunBatch(ctx, jobs)
+	out := make([][]JobResult, len(configs))
+	for i := range configs {
+		out[i] = flat[i*len(methods) : (i+1)*len(methods)]
+	}
+	return out
+}
+
+// RunAll is the pooled, cached equivalent of sim.Runner.RunAll: it executes
+// the population on one configuration, skips fabric-rejected methods,
+// filters timeouts, and produces results identical to the serial path.
+func (s *Scheduler) RunAll(ctx context.Context, cfg sim.Config, methods []*classfile.Method) (*sim.ConfigResults, error) {
+	return s.runAllCycles(ctx, cfg, methods, 0)
+}
+
+// RunAllCycles is RunAll with an explicit per-execution mesh-cycle bound
+// overriding the scheduler default (0 keeps the default).
+func (s *Scheduler) RunAllCycles(ctx context.Context, cfg sim.Config, methods []*classfile.Method, maxCycles int) (*sim.ConfigResults, error) {
+	return s.runAllCycles(ctx, cfg, methods, maxCycles)
+}
+
+func (s *Scheduler) runAllCycles(ctx context.Context, cfg sim.Config, methods []*classfile.Method, maxCycles int) (*sim.ConfigResults, error) {
+	jobs := make([]Job, len(methods))
+	for i, m := range methods {
+		jobs[i] = Job{Config: cfg, Method: m}
+	}
+	results := s.runBatchCycles(ctx, jobs, maxCycles)
+	return CollectRuns(cfg, results)
+}
+
+// CollectRuns folds ordered per-job results into the ConfigResults shape of
+// sim.Runner.RunAll, applying the same skip and timeout filters.
+func CollectRuns(cfg sim.Config, results []JobResult) (*sim.ConfigResults, error) {
+	out := &sim.ConfigResults{Config: cfg}
+	for _, r := range results {
+		if r.Err != nil {
+			var le *fabric.LoadError
+			if errors.As(r.Err, &le) {
+				out.Skipped++
+				continue
+			}
+			return nil, fmt.Errorf("sim: %s: %w", r.Job.Method.Signature(), r.Err)
+		}
+		if r.Run.BP1.TimedOut || r.Run.BP2.TimedOut {
+			out.TimedOut++
+			continue
+		}
+		out.Runs = append(out.Runs, r.Run)
+	}
+	return out, nil
+}

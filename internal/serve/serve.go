@@ -1,0 +1,295 @@
+// Package serve turns the per-method JavaFlow simulator into a long-lived
+// concurrent service. Three pieces compose:
+//
+//   - DeploymentCache: a sharded LRU keyed by (method signature,
+//     configuration name) memoizing the verified fabric.Placement +
+//     fabric.Resolution, so repeated runs skip the Figure 20 / Figure 22
+//     deploy pipeline entirely;
+//   - Scheduler: a bounded worker pool fanning batch submissions
+//     (methods × configurations) across goroutines with context
+//     cancellation and deterministic, submission-ordered results that are
+//     byte-identical to the serial sim.Runner path;
+//   - Service + Handler: a method/configuration registry and the
+//     net/http API the jfserved daemon exposes (POST /v1/run,
+//     POST /v1/batch, GET /v1/configs, GET /v1/methods, GET /metrics).
+//
+// cmd/jfserved serves the API; internal/experiments routes the Chapter-7
+// table sweeps through the same Scheduler so batch and interactive traffic
+// share one cache.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"javaflow/internal/classfile"
+	"javaflow/internal/sim"
+	"javaflow/internal/stats"
+)
+
+// NotFoundError reports a lookup against the registry that failed; the
+// HTTP layer maps it to 404.
+type NotFoundError struct {
+	Kind string // "method" or "config"
+	Name string
+}
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("serve: no %s %q", e.Kind, e.Name)
+}
+
+// Service binds a scheduler to a fixed registry of configurations and a
+// method population, resolving the name-based requests the HTTP API speaks
+// into the scheduler's typed jobs.
+type Service struct {
+	sched        *Scheduler
+	configs      []sim.Config
+	configByName map[string]sim.Config
+	methods      []*classfile.Method
+	methodBySig  map[string]*classfile.Method
+}
+
+// NewService builds a service over the given registry. Configurations and
+// methods keep their given order (the population order batch results are
+// reported in); duplicate names keep the first occurrence.
+func NewService(sched *Scheduler, configs []sim.Config, methods []*classfile.Method) *Service {
+	s := &Service{
+		sched:        sched,
+		configByName: make(map[string]sim.Config, len(configs)),
+		methodBySig:  make(map[string]*classfile.Method, len(methods)),
+	}
+	for _, cfg := range configs {
+		if _, ok := s.configByName[cfg.Name]; ok {
+			continue
+		}
+		s.configByName[cfg.Name] = cfg
+		s.configs = append(s.configs, cfg)
+	}
+	for _, m := range methods {
+		sig := m.Signature()
+		if _, ok := s.methodBySig[sig]; ok {
+			continue
+		}
+		s.methodBySig[sig] = m
+		s.methods = append(s.methods, m)
+	}
+	return s
+}
+
+// Scheduler exposes the underlying scheduler.
+func (s *Service) Scheduler() *Scheduler { return s.sched }
+
+// Configs lists the registered configurations in registry order.
+func (s *Service) Configs() []sim.Config { return s.configs }
+
+// Methods lists the registered methods in registry order.
+func (s *Service) Methods() []*classfile.Method { return s.methods }
+
+// Config resolves a configuration by name.
+func (s *Service) Config(name string) (sim.Config, error) {
+	cfg, ok := s.configByName[name]
+	if !ok {
+		return sim.Config{}, &NotFoundError{Kind: "config", Name: name}
+	}
+	return cfg, nil
+}
+
+// Method resolves a method by signature.
+func (s *Service) Method(sig string) (*classfile.Method, error) {
+	m, ok := s.methodBySig[sig]
+	if !ok {
+		return nil, &NotFoundError{Kind: "method", Name: sig}
+	}
+	return m, nil
+}
+
+// RunPayload is the JSON shape of one method execution (both policies).
+type RunPayload struct {
+	Signature string     `json:"signature"`
+	Config    string     `json:"config"`
+	MeanIPC   float64    `json:"meanIPC"`
+	BP1       sim.Result `json:"bp1"`
+	BP2       sim.Result `json:"bp2"`
+}
+
+func payloadFor(cfgName string, run sim.MethodRun) RunPayload {
+	return RunPayload{
+		Signature: run.Signature,
+		Config:    cfgName,
+		MeanIPC:   run.MeanIPC(),
+		BP1:       run.BP1,
+		BP2:       run.BP2,
+	}
+}
+
+// Run executes one (method, config) pair; maxCycles 0 keeps the scheduler
+// default (DefaultMaxMeshCycles-derived) per-job bound.
+func (s *Service) Run(ctx context.Context, configName, signature string, maxCycles int) (RunPayload, error) {
+	cfg, err := s.Config(configName)
+	if err != nil {
+		return RunPayload{}, err
+	}
+	m, err := s.Method(signature)
+	if err != nil {
+		return RunPayload{}, err
+	}
+	run, err := s.sched.runMethodCycles(ctx, cfg, m, maxCycles)
+	if err != nil {
+		return RunPayload{}, err
+	}
+	return payloadFor(cfg.Name, run), nil
+}
+
+// BatchRequest is the POST /v1/batch body: a population sweep over the
+// cross product of the named configurations and methods. Empty lists mean
+// "all registered".
+type BatchRequest struct {
+	Configs []string `json:"configs"`
+	Methods []string `json:"methods"`
+	// MaxMeshCycles bounds each execution (0 = scheduler default).
+	MaxMeshCycles int `json:"maxMeshCycles"`
+	// SummaryOnly drops the per-run payloads from the response, keeping
+	// only the aggregate rows (full sweeps are ~19k runs).
+	SummaryOnly bool `json:"summaryOnly"`
+}
+
+// ConfigSummary aggregates one configuration's sweep the way the
+// dissertation's Table 21 does.
+type ConfigSummary struct {
+	Config   string        `json:"config"`
+	Methods  int           `json:"methods"`
+	Skipped  int           `json:"skipped"`
+	TimedOut int           `json:"timedOut"`
+	IPC      stats.Summary `json:"ipc"`
+}
+
+// BatchConfigResult is one configuration's slice of a batch response.
+type BatchConfigResult struct {
+	Summary ConfigSummary `json:"summary"`
+	Runs    []RunPayload  `json:"runs,omitempty"`
+}
+
+// BatchResponse is the POST /v1/batch reply, one entry per requested
+// configuration in request order.
+type BatchResponse struct {
+	Results []BatchConfigResult `json:"results"`
+}
+
+// Batch executes a population sweep through the worker pool. Results are
+// deterministic: per-configuration groups in request order, runs in method
+// order, identical to running sim.Runner.RunAll per configuration.
+func (s *Service) Batch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	configs, err := s.pickConfigs(req.Configs)
+	if err != nil {
+		return BatchResponse{}, err
+	}
+	methods, err := s.pickMethods(req.Methods)
+	if err != nil {
+		return BatchResponse{}, err
+	}
+
+	groups := s.sched.Sweep(ctx, configs, methods)
+	resp := BatchResponse{Results: make([]BatchConfigResult, 0, len(configs))}
+	for i, cfg := range configs {
+		cr, err := CollectRuns(cfg, groups[i])
+		if err != nil {
+			return BatchResponse{}, err
+		}
+		out := BatchConfigResult{Summary: ConfigSummary{
+			Config:   cfg.Name,
+			Methods:  len(cr.Runs),
+			Skipped:  cr.Skipped,
+			TimedOut: cr.TimedOut,
+			IPC:      cr.IPCSummary(),
+		}}
+		if !req.SummaryOnly {
+			out.Runs = make([]RunPayload, 0, len(cr.Runs))
+			for _, run := range cr.Runs {
+				out.Runs = append(out.Runs, payloadFor(cfg.Name, run))
+			}
+		}
+		resp.Results = append(resp.Results, out)
+	}
+	return resp, nil
+}
+
+// pickConfigs resolves names to configurations (empty = all).
+func (s *Service) pickConfigs(names []string) ([]sim.Config, error) {
+	if len(names) == 0 {
+		return s.configs, nil
+	}
+	out := make([]sim.Config, 0, len(names))
+	for _, n := range names {
+		cfg, err := s.Config(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+// pickMethods resolves signatures to methods (empty = all).
+func (s *Service) pickMethods(sigs []string) ([]*classfile.Method, error) {
+	if len(sigs) == 0 {
+		return s.methods, nil
+	}
+	out := make([]*classfile.Method, 0, len(sigs))
+	for _, sig := range sigs {
+		m, err := s.Method(sig)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// MethodInfo is the GET /v1/methods row.
+type MethodInfo struct {
+	Signature    string `json:"signature"`
+	Instructions int    `json:"instructions"`
+	MaxLocals    int    `json:"maxLocals"`
+}
+
+// MethodInfos lists the registry sorted by signature.
+func (s *Service) MethodInfos() []MethodInfo {
+	out := make([]MethodInfo, 0, len(s.methods))
+	for _, m := range s.methods {
+		out = append(out, MethodInfo{
+			Signature:    m.Signature(),
+			Instructions: len(m.Code),
+			MaxLocals:    m.MaxLocals,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Signature < out[j].Signature })
+	return out
+}
+
+// ConfigInfo is the GET /v1/configs row.
+type ConfigInfo struct {
+	Name          string `json:"name"`
+	Width         int    `json:"width"`
+	SerialPerMesh int    `json:"serialPerMesh"`
+	Collapsed     bool   `json:"collapsed"`
+	Description   string `json:"description"`
+}
+
+// ConfigInfos lists the registered configurations in registry order.
+func (s *Service) ConfigInfos() []ConfigInfo {
+	out := make([]ConfigInfo, 0, len(s.configs))
+	for _, cfg := range s.configs {
+		info := ConfigInfo{
+			Name:          cfg.Name,
+			SerialPerMesh: cfg.SerialPerMesh,
+			Description:   cfg.Description,
+		}
+		if cfg.Fabric != nil {
+			info.Width = cfg.Fabric.Width
+			info.Collapsed = cfg.Fabric.Collapsed
+		}
+		out = append(out, info)
+	}
+	return out
+}

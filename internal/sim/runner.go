@@ -25,20 +25,49 @@ func (mr MethodRun) MeanIPC() float64 {
 type Runner struct {
 	// MaxMeshCycles overrides the per-execution timeout (0 = default).
 	MaxMeshCycles int
+	// Resolve overrides the deploy pipeline (verification, greedy load,
+	// address resolution — Figures 20 and 22). Nil runs the pipeline from
+	// scratch on every call; a deployment cache plugs in here to amortize
+	// repeated runs of the same method on the same configuration.
+	Resolve func(cfg Config, m *classfile.Method) (*fabric.Resolution, error)
+}
+
+// resolve runs the configured deploy pipeline.
+func (r *Runner) resolve(cfg Config, m *classfile.Method) (*fabric.Resolution, error) {
+	if r.Resolve != nil {
+		return r.Resolve(cfg, m)
+	}
+	return DeployMethod(cfg, m)
+}
+
+// DeployMethod is the uncached deploy pipeline: verification, greedy load
+// into the fabric, and address resolution. Methods the fabric cannot host
+// return a *fabric.LoadError.
+func DeployMethod(cfg Config, m *classfile.Method) (*fabric.Resolution, error) {
+	loader := &fabric.Loader{Fabric: cfg.Fabric}
+	placement, err := loader.Load(m)
+	if err != nil {
+		return nil, err
+	}
+	return fabric.Resolve(placement)
 }
 
 // RunMethod executes one method under one configuration with both branch
 // policies. Methods the fabric cannot host return a *fabric.LoadError.
 func (r *Runner) RunMethod(cfg Config, m *classfile.Method) (MethodRun, error) {
-	loader := &fabric.Loader{Fabric: cfg.Fabric}
-	placement, err := loader.Load(m)
+	res, err := r.resolve(cfg, m)
 	if err != nil {
 		return MethodRun{}, err
 	}
-	res, err := fabric.Resolve(placement)
-	if err != nil {
-		return MethodRun{}, err
-	}
+	return r.RunResolved(cfg, res)
+}
+
+// RunResolved executes an already-deployed method (both branch policies) —
+// the post-cache half of RunMethod. Results are identical to RunMethod's:
+// the engine never mutates the resolution, so one deployment can back any
+// number of executions, including concurrent ones.
+func (r *Runner) RunResolved(cfg Config, res *fabric.Resolution) (MethodRun, error) {
+	m := res.Placement.Method
 	out := MethodRun{Signature: m.Signature()}
 	for _, policy := range []BranchPolicy{BP1, BP2} {
 		eng := NewEngine(cfg, res, policy)

@@ -1,6 +1,10 @@
 package workload
 
-import "javaflow/internal/classfile"
+import (
+	"sort"
+
+	"javaflow/internal/classfile"
+)
 
 // AllSuites returns the complete benchmark roster: SciMark, crypto, both
 // compress eras, and the SpecJvm98 analogs — the populations behind
@@ -24,6 +28,26 @@ func SuitesByEra() (jvm2008, jvm98 []*Suite) {
 		}
 	}
 	return jvm2008, jvm98
+}
+
+// Corpus assembles the full simulation population the Chapter-7 sweeps
+// study: every named SPEC-analog method followed by the seeded generated
+// corpus, methods within each generated class in signature order. Both
+// experiments.Context and the jfserved daemon build their population here,
+// so the two always agree method for method.
+func Corpus(seed int64, genCount int) []*classfile.Method {
+	methods := NamedMethods()
+	for _, cls := range Generate(GenConfig{Seed: seed, Count: genCount}) {
+		names := make([]string, 0, len(cls.Methods))
+		for n := range cls.Methods {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			methods = append(methods, cls.Methods[n])
+		}
+	}
+	return methods
 }
 
 // NamedMethods returns every hand-built SPEC-analog method, deduplicated by
