@@ -19,6 +19,7 @@ import (
 	"javaflow/internal/fabric"
 	"javaflow/internal/serve"
 	"javaflow/internal/sim"
+	"javaflow/internal/store"
 	"javaflow/internal/workload"
 )
 
@@ -246,6 +247,69 @@ func BenchmarkDeploymentCacheSweep(b *testing.B) {
 			if _, err := sched.RunAll(context.Background(), cfg, methods); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkStoreSweep measures the persistent result store against the
+// in-memory path: "cold" pays execution plus write-behind persistence,
+// "warm" is a fresh process (empty LRU) answering the whole sweep from
+// disk-backed records without touching the engine.
+func BenchmarkStoreSweep(b *testing.B) {
+	methods := workload.NamedMethods()
+	cfg := heteroConfig(b)
+	const maxCycles = 200_000
+	dir := b.TempDir()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st, err := store.Open(b.TempDir(), store.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			sched := serve.NewScheduler(serve.SchedulerOptions{Workers: 1, MaxMeshCycles: maxCycles, Store: st})
+			if _, err := sched.RunAll(context.Background(), cfg, methods); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	seed, err := store.Open(dir, store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := serve.NewScheduler(serve.SchedulerOptions{Workers: 1, MaxMeshCycles: maxCycles, Store: seed})
+	if _, err := sched.RunAll(context.Background(), cfg, methods); err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st, err := store.Open(dir, store.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			// A fresh scheduler + cache per iteration models a restarted
+			// process whose only warmth is the store.
+			sched := serve.NewScheduler(serve.SchedulerOptions{Workers: 1, MaxMeshCycles: maxCycles, Store: st})
+			if _, err := sched.RunAll(context.Background(), cfg, methods); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
 		}
 	})
 }

@@ -6,9 +6,13 @@
 //	jfbench -all                 # every table, in order
 //	jfbench -table 22            # one table
 //	jfbench -table 22 -gen 400   # smaller generated population (faster)
+//	jfbench -all -store-dir ./results   # reuse prior runs across invocations
 //
 // The population defaults mirror the dissertation: ~1,600 methods, two
-// branch-policy executions each, six machine configurations.
+// branch-policy executions each, six machine configurations. With
+// -store-dir, completed MethodRuns are persisted and reused by later
+// invocations (and by jfserved pointed at the same directory); the
+// cold/warm split is reported on stderr at exit.
 package main
 
 import (
@@ -32,6 +36,7 @@ func main() {
 		seed      = flag.Int64("seed", 2014, "generated-method population seed")
 		cycles    = flag.Int("maxcycles", 400_000, "per-execution mesh-cycle timeout")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size (1 = serial)")
+		stDir     = flag.String("store-dir", "", "persistent result store directory (empty = recompute everything)")
 	)
 	flag.Parse()
 
@@ -42,23 +47,42 @@ func main() {
 	ctx.MaxMeshCycles = *cycles
 	ctx.Workers = *workers
 
+	// fail closes the store (flushing queued writes) before exiting
+	// non-zero; os.Exit skips deferred calls.
+	fail := func(code int, format string, args ...any) {
+		_ = ctx.Close()
+		if format != "" {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+		os.Exit(code)
+	}
+
+	if *stDir != "" {
+		if err := ctx.OpenStore(*stDir); err != nil {
+			fail(1, "jfbench: %v\n", err)
+		}
+	}
+
 	if *ablations {
 		tables, err := ctx.Ablations()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "jfbench: %v\n", err)
-			os.Exit(1)
+			fail(1, "jfbench: %v\n", err)
 		}
 		for _, t := range tables {
 			fmt.Println(t)
 		}
 		if !*all && *table == "" {
+			reportStore(ctx)
+			if err := ctx.Close(); err != nil {
+				fail(1, "jfbench: closing store: %v\n", err)
+			}
 			return
 		}
 	}
 
 	if !*all && *table == "" {
 		flag.Usage()
-		os.Exit(2)
+		fail(2, "")
 	}
 
 	var numbers []int
@@ -70,8 +94,7 @@ func main() {
 		for _, part := range strings.Split(*table, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "jfbench: bad table number %q\n", part)
-				os.Exit(2)
+				fail(2, "jfbench: bad table number %q\n", part)
 			}
 			numbers = append(numbers, n)
 		}
@@ -80,9 +103,37 @@ func main() {
 	for _, n := range numbers {
 		t, err := ctx.TableByNumber(n)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "jfbench: %v\n", err)
-			os.Exit(1)
+			fail(1, "jfbench: %v\n", err)
 		}
 		fmt.Println(t)
+	}
+
+	reportStore(ctx)
+	if err := ctx.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "jfbench: closing store: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// reportStore prints the cold/warm split of a store-backed run: how many
+// MethodRuns were served from prior invocations versus executed fresh.
+func reportStore(ctx *experiments.Context) {
+	st := ctx.Store()
+	if st == nil {
+		return
+	}
+	stats := st.Stats()
+	total := stats.RunHits + stats.RunMisses
+	if total == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"jfbench: store %s — %d/%d runs warm (%.1f%%), %d cold, %d deployments reused, %d records persisted\n",
+		st.Dir(), stats.RunHits, total, 100*float64(stats.RunHits)/float64(total),
+		stats.RunMisses, stats.DeployHits, stats.Records)
+	if stats.PutErrors > 0 {
+		fmt.Fprintf(os.Stderr,
+			"jfbench: warning: %d store writes failed; results may not be reusable (ctx.Close reports the first error)\n",
+			stats.PutErrors)
 	}
 }

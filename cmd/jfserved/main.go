@@ -7,6 +7,7 @@
 //	jfserved                       # serve :8077 with the default corpus
 //	jfserved -addr :9000 -workers 8 -cache 4096
 //	jfserved -gen 400              # smaller generated population (faster boot)
+//	jfserved -store-dir ./results  # persist results across restarts
 //
 // Endpoints:
 //
@@ -32,6 +33,7 @@ import (
 
 	"javaflow/internal/serve"
 	"javaflow/internal/sim"
+	"javaflow/internal/store"
 	"javaflow/internal/workload"
 )
 
@@ -44,14 +46,35 @@ func main() {
 		seed    = flag.Int64("seed", 2014, "generated-method population seed")
 		cycles  = flag.Int("maxcycles", 400_000, "default per-execution mesh-cycle timeout")
 		drain   = flag.Duration("drain", 5*time.Minute, "graceful-shutdown drain window for in-flight requests")
+		stDir   = flag.String("store-dir", "", "directory for the persistent result store (empty = memory-only)")
 	)
 	flag.Parse()
+
+	var st *store.Store
+	if *stDir != "" {
+		var err error
+		st, err = store.Open(*stDir, store.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jfserved: opening store: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// fatal closes the store (flushing write-behind appends) before
+	// exiting non-zero; os.Exit skips deferred calls.
+	fatal := func(format string, args ...any) {
+		if st != nil {
+			_ = st.Close()
+		}
+		fmt.Fprintf(os.Stderr, format, args...)
+		os.Exit(1)
+	}
 
 	methods := workload.Corpus(*seed, *gen)
 	sched := serve.NewScheduler(serve.SchedulerOptions{
 		Workers:       *workers,
 		Cache:         serve.NewDeploymentCache(*cacheN),
 		MaxMeshCycles: *cycles,
+		Store:         st,
 	})
 	svc := serve.NewService(sched, sim.Configurations(), methods)
 	srv := serve.NewServer(*addr, svc)
@@ -61,14 +84,17 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("jfserved: %d methods, %d configurations, %d workers, cache %d — listening on %s\n",
-		len(methods), len(svc.Configs()), *workers, *cacheN, *addr)
+	storeNote := "memory-only"
+	if st != nil {
+		storeNote = fmt.Sprintf("store %s (%d warm records)", st.Dir(), st.Len())
+	}
+	fmt.Printf("jfserved: %d methods, %d configurations, %d workers, cache %d, %s — listening on %s\n",
+		len(methods), len(svc.Configs()), *workers, *cacheN, storeNote, *addr)
 
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "jfserved: %v\n", err)
-			os.Exit(1)
+			fatal("jfserved: %v\n", err)
 		}
 	case <-ctx.Done():
 		stop()
@@ -78,7 +104,12 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "jfserved: shutdown: %v\n", err)
+			fatal("jfserved: shutdown: %v\n", err)
+		}
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "jfserved: closing store: %v\n", err)
 			os.Exit(1)
 		}
 	}

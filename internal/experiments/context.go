@@ -16,6 +16,7 @@ import (
 	"javaflow/internal/jvm"
 	"javaflow/internal/serve"
 	"javaflow/internal/sim"
+	"javaflow/internal/store"
 	"javaflow/internal/workload"
 )
 
@@ -34,6 +35,7 @@ type Context struct {
 	Workers int
 
 	sched     *serve.Scheduler
+	store     *store.Store
 	suites    []*workload.Suite
 	profiles  map[string]*jvm.Profile // suite name -> dynamic profile
 	corpus    []*classfile.Method
@@ -58,15 +60,46 @@ func NewContext() *Context {
 // Scheduler returns the context's simulation scheduler (built on first
 // use): a bounded worker pool over a deployment cache shared by every
 // sweep, so each (method, configuration) deployment happens once across
-// all tables and ablations.
+// all tables and ablations. If OpenStore was called first, the scheduler
+// additionally reads prior MethodRuns through the persistent store.
 func (c *Context) Scheduler() *serve.Scheduler {
 	if c.sched == nil {
 		c.sched = serve.NewScheduler(serve.SchedulerOptions{
 			Workers:       c.Workers,
 			MaxMeshCycles: c.MaxMeshCycles,
+			Store:         c.store,
 		})
 	}
 	return c.sched
+}
+
+// OpenStore attaches a persistent result store rooted at dir, so sweeps
+// reuse MethodRuns computed by earlier jfbench or jfserved processes.
+// Must be called before the first sweep (i.e. before Scheduler is built).
+func (c *Context) OpenStore(dir string) error {
+	if c.sched != nil {
+		return fmt.Errorf("experiments: OpenStore called after the scheduler was built")
+	}
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	c.store = st
+	return nil
+}
+
+// Store returns the attached persistent store (nil without OpenStore).
+func (c *Context) Store() *store.Store { return c.store }
+
+// Close flushes and closes the persistent store, if one is attached. The
+// context remains usable for in-memory work.
+func (c *Context) Close() error {
+	if c.store == nil {
+		return nil
+	}
+	err := c.store.Close()
+	c.store = nil
+	return err
 }
 
 // Suites returns the benchmark roster.

@@ -9,6 +9,7 @@ import (
 	"javaflow/internal/core"
 	"javaflow/internal/fabric"
 	"javaflow/internal/sim"
+	"javaflow/internal/store"
 )
 
 // A DeploymentCache backs both deployment seams: core.Machine.SetProvider
@@ -23,11 +24,14 @@ const cacheShards = 16
 // configurations, with headroom for ad-hoc requests.
 const DefaultCacheCapacity = 12288
 
-// cacheKey identifies one deployment: the method signature and the
-// configuration name it was deployed under.
+// cacheKey identifies one deployment: the method signature and the fabric
+// geometry it was deployed on. Keying by geometry instead of configuration
+// name lets every configuration sharing a fabric pattern — Compact10,
+// Compact4 and Compact2 differ only in serial clocking — share one cached
+// placement (ROADMAP "cross-config deployment sharing").
 type cacheKey struct {
 	Signature string
-	Config    string
+	Geometry  string
 }
 
 // cacheEntry memoizes the full deploy outcome. Failures (LoadError for
@@ -55,18 +59,25 @@ type cacheItem struct {
 }
 
 // DeploymentCache is a sharded LRU of verified, loaded, address-resolved
-// methods keyed by (method signature, configuration name). A hit skips the
+// methods keyed by (method signature, fabric geometry). A hit skips the
 // whole Figure 20 + Figure 22 pipeline; the cached Resolution is immutable
-// and shared freely across concurrent executions. Because configuration
-// names identify fabric geometry by convention only, each hit is guarded by
-// a structural fabric comparison — a name collision across different
-// geometries degrades to a miss instead of returning a wrong placement.
+// and shared freely across concurrent executions. Although the geometry
+// key already encodes structure, each hit is still guarded by a structural
+// fabric comparison — a key collision across different geometries degrades
+// to a miss instead of returning a wrong placement.
+//
+// An optional persistent store sits under the LRU as a read-through /
+// write-behind layer: an LRU miss consults the store before running the
+// deploy pipeline, and freshly computed outcomes (including fabric
+// rejections) are persisted so they survive restarts.
 type DeploymentCache struct {
 	shards   [cacheShards]cacheShard
 	perShard int
+	store    *store.Store
 
 	hits      atomic.Int64
 	misses    atomic.Int64
+	storeHits atomic.Int64
 	evictions atomic.Int64
 }
 
@@ -85,6 +96,11 @@ func NewDeploymentCache(capacity int) *DeploymentCache {
 	return c
 }
 
+// SetStore attaches the persistent store the cache reads through to and
+// writes deployments behind. Call before the cache starts serving traffic;
+// the scheduler wires this up from SchedulerOptions.Store.
+func (c *DeploymentCache) SetStore(st *store.Store) { c.store = st }
+
 // shardFor spreads keys across shards with FNV-1a over both key fields.
 func (c *DeploymentCache) shardFor(k cacheKey) *cacheShard {
 	const (
@@ -98,8 +114,8 @@ func (c *DeploymentCache) shardFor(k cacheKey) *cacheShard {
 	}
 	h ^= 0xff
 	h *= prime64
-	for i := 0; i < len(k.Config); i++ {
-		h ^= uint64(k.Config[i])
+	for i := 0; i < len(k.Geometry); i++ {
+		h ^= uint64(k.Geometry[i])
 		h *= prime64
 	}
 	return &c.shards[h%cacheShards]
@@ -129,7 +145,7 @@ func sameFabric(a, b *fabric.Fabric) bool {
 // memoizing it on first use. It implements core.DeploymentProvider and
 // plugs directly into sim.Runner.Resolve.
 func (c *DeploymentCache) ResolveMethod(cfg sim.Config, m *classfile.Method) (*fabric.Resolution, error) {
-	key := cacheKey{Signature: m.Signature(), Config: cfg.Name}
+	key := cacheKey{Signature: m.Signature(), Geometry: cfg.Fabric.GeometryKey()}
 	shard := c.shardFor(key)
 
 	shard.mu.Lock()
@@ -142,34 +158,56 @@ func (c *DeploymentCache) ResolveMethod(cfg sim.Config, m *classfile.Method) (*f
 			c.hits.Add(1)
 			return entry.res, entry.err
 		}
-		// Same name, different geometry: drop the stale entry.
+		// Same key, different geometry (hash collision): drop the stale
+		// entry.
 		shard.order.Remove(el)
 		delete(shard.items, key)
 	}
 	shard.mu.Unlock()
 	c.misses.Add(1)
 
+	// Read through to the persistent store before paying for the deploy
+	// pipeline. A stored outcome (success or fabric rejection) from an
+	// earlier process life is as good as a computed one.
+	var dk store.DeployKey
+	if c.store != nil {
+		dk = store.DeployKey{Signature: key.Signature, MethodHash: store.MethodHash(m), Geometry: key.Geometry}
+		if res, ok, derr := c.store.GetDeploy(dk, cfg.Fabric, m); ok {
+			c.storeHits.Add(1)
+			entry := c.insert(shard, key, cacheEntry{res: res, err: derr, fab: cfg.Fabric})
+			return entry.res, entry.err
+		}
+	}
+
 	// Deploy outside the shard lock: resolution is pure, so concurrent
 	// duplicate work is wasted effort at worst, never a correctness issue.
 	res, err := sim.DeployMethod(cfg, m)
-	entry := cacheEntry{res: res, err: err, fab: cfg.Fabric}
+	if c.store != nil {
+		c.store.PutDeploy(dk, res, err)
+	}
+	entry := c.insert(shard, key, cacheEntry{res: res, err: err, fab: cfg.Fabric})
+	return entry.res, entry.err
+}
 
+// insert memoizes entry under key, keeping a racing goroutine's entry if
+// one landed first and evicting past the per-shard bound. It returns the
+// entry that ended up cached.
+func (c *DeploymentCache) insert(shard *cacheShard, key cacheKey, entry cacheEntry) cacheEntry {
 	shard.mu.Lock()
+	defer shard.mu.Unlock()
 	if el, ok := shard.items[key]; ok {
 		// Another goroutine won the race; keep its entry.
 		shard.order.MoveToFront(el)
-		entry = el.Value.(*cacheItem).entry
-	} else {
-		shard.items[key] = shard.order.PushFront(&cacheItem{key: key, entry: entry})
-		for shard.order.Len() > c.perShard {
-			oldest := shard.order.Back()
-			shard.order.Remove(oldest)
-			delete(shard.items, oldest.Value.(*cacheItem).key)
-			c.evictions.Add(1)
-		}
+		return el.Value.(*cacheItem).entry
 	}
-	shard.mu.Unlock()
-	return entry.res, entry.err
+	shard.items[key] = shard.order.PushFront(&cacheItem{key: key, entry: entry})
+	for shard.order.Len() > c.perShard {
+		oldest := shard.order.Back()
+		shard.order.Remove(oldest)
+		delete(shard.items, oldest.Value.(*cacheItem).key)
+		c.evictions.Add(1)
+	}
+	return entry
 }
 
 // Len returns the live entry count across all shards.
@@ -183,10 +221,13 @@ func (c *DeploymentCache) Len() int {
 	return n
 }
 
-// CacheStats is a point-in-time counter snapshot.
+// CacheStats is a point-in-time counter snapshot. StoreHits counts the
+// subset of Misses that a persistent store answered without running the
+// deploy pipeline.
 type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
+	StoreHits int64 `json:"storeHits"`
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
 }
@@ -196,6 +237,7 @@ func (c *DeploymentCache) Stats() CacheStats {
 	return CacheStats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
+		StoreHits: c.storeHits.Load(),
 		Evictions: c.evictions.Load(),
 		Entries:   c.Len(),
 	}

@@ -75,14 +75,50 @@ func TestCacheHitMissAccounting(t *testing.T) {
 		t.Fatalf("after warm passes: %+v, want 6 hits / 3 misses", st)
 	}
 
-	// A different configuration name is a distinct cache line.
+	// A different fabric geometry is a distinct cache line.
 	other := testConfig(t, "Sparse2")
 	if _, err := cache.ResolveMethod(other, methods[0]); err != nil {
 		t.Fatalf("resolve on Sparse2: %v", err)
 	}
 	st = cache.Stats()
 	if st.Misses != 4 {
-		t.Fatalf("distinct config should miss: %+v", st)
+		t.Fatalf("distinct geometry should miss: %+v", st)
+	}
+}
+
+// TestCacheSharesDeploymentsAcrossConfigs pins the ROADMAP "cross-config
+// deployment sharing" behaviour: Compact10, Compact4 and Compact2 differ
+// only in serial clocking, so after one of them deploys a method the other
+// two hit the same cache line.
+func TestCacheSharesDeploymentsAcrossConfigs(t *testing.T) {
+	cache := NewDeploymentCache(64)
+	m := hostableMethods(t, 1)[0]
+
+	first, err := cache.ResolveMethod(testConfig(t, "Compact10"), m)
+	if err != nil {
+		t.Fatalf("resolve on Compact10: %v", err)
+	}
+	for _, name := range []string{"Compact4", "Compact2"} {
+		res, err := cache.ResolveMethod(testConfig(t, name), m)
+		if err != nil {
+			t.Fatalf("resolve on %s: %v", name, err)
+		}
+		if res != first {
+			t.Fatalf("%s did not share Compact10's cached deployment", name)
+		}
+	}
+	st := cache.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss / 1 entry", st)
+	}
+
+	// Baseline shares the compact pattern but is collapsed — a different
+	// geometry, so it must not reuse the placement.
+	if _, err := cache.ResolveMethod(testConfig(t, "Baseline"), m); err != nil {
+		t.Fatalf("resolve on Baseline: %v", err)
+	}
+	if st := cache.Stats(); st.Misses != 2 {
+		t.Fatalf("collapsed Baseline should miss: %+v", st)
 	}
 }
 
@@ -135,11 +171,12 @@ func TestCacheEviction(t *testing.T) {
 	}
 	if st.Evictions == 0 && st.Entries == cacheShards {
 		// All 8 methods landed on distinct shards — nothing to evict;
-		// force a collision by reusing one shard with many configs.
+		// force a collision by reusing one shard with many geometries.
 		m := methods[0]
 		for i := 0; i < 4; i++ {
 			c := cfg
 			c.Name = fmt.Sprintf("%s-v%d", cfg.Name, i)
+			c.Fabric = fabric.NewFabric(11+i, fabric.PatternCompact)
 			if _, err := cache.ResolveMethod(c, m); err != nil {
 				t.Fatalf("resolve: %v", err)
 			}

@@ -75,7 +75,7 @@ func NewHandler(svc *Service) http.Handler {
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, metrics.Snapshot(svc.Scheduler().Cache()))
+		writeJSON(w, http.StatusOK, svc.Scheduler().Snapshot())
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"javaflow/internal/store"
 )
 
 // latencyWindow bounds the sliding sample set percentiles are computed
@@ -73,20 +75,22 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[idx]
 }
 
-// MetricsSnapshot is the JSON shape of GET /metrics.
+// MetricsSnapshot is the JSON shape of GET /metrics. Store is nil when the
+// service runs memory-only (no -store-dir).
 type MetricsSnapshot struct {
-	Requests     int64      `json:"requests"`
-	Jobs         int64      `json:"jobs"`
-	JobErrors    int64      `json:"jobErrors"`
-	InFlight     int64      `json:"inFlight"`
-	P50LatencyMS float64    `json:"p50LatencyMs"`
-	P95LatencyMS float64    `json:"p95LatencyMs"`
-	Cache        CacheStats `json:"cache"`
+	Requests     int64        `json:"requests"`
+	Jobs         int64        `json:"jobs"`
+	JobErrors    int64        `json:"jobErrors"`
+	InFlight     int64        `json:"inFlight"`
+	P50LatencyMS float64      `json:"p50LatencyMs"`
+	P95LatencyMS float64      `json:"p95LatencyMs"`
+	Cache        CacheStats   `json:"cache"`
+	Store        *store.Stats `json:"store,omitempty"`
 }
 
-// Snapshot captures the current counters plus the given cache's stats
-// (cache may be nil).
-func (m *Metrics) Snapshot(cache *DeploymentCache) MetricsSnapshot {
+// Snapshot captures the current counters plus the given cache's and
+// store's stats (either may be nil).
+func (m *Metrics) Snapshot(cache *DeploymentCache, st *store.Store) MetricsSnapshot {
 	m.mu.Lock()
 	n := m.next
 	if m.filled {
@@ -107,6 +111,10 @@ func (m *Metrics) Snapshot(cache *DeploymentCache) MetricsSnapshot {
 	}
 	if cache != nil {
 		snap.Cache = cache.Stats()
+	}
+	if st != nil {
+		stats := st.Stats()
+		snap.Store = &stats
 	}
 	return snap
 }

@@ -146,7 +146,7 @@ func TestRunBatchCancellationMidFlight(t *testing.T) {
 	// Cancel once at least one job has completed, so the cancellation
 	// lands mid-stream rather than before the pool starts.
 	go func() {
-		for sched.Metrics().Snapshot(nil).Jobs == 0 {
+		for sched.Metrics().Snapshot(nil, nil).Jobs == 0 {
 			time.Sleep(time.Millisecond)
 		}
 		cancel()
@@ -195,7 +195,7 @@ func TestRunMethodThroughCache(t *testing.T) {
 	if st.Misses != 1 || st.Hits != 2 {
 		t.Fatalf("cache stats = %+v, want 1 miss / 2 hits", st)
 	}
-	m := sched.Metrics().Snapshot(sched.Cache())
+	m := sched.Snapshot()
 	if m.Jobs != 3 || m.InFlight != 0 {
 		t.Fatalf("metrics = %+v, want 3 jobs / 0 in flight", m)
 	}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleRun() MethodRun {
+	return MethodRun{
+		Signature: "scimark/fft/FFT.bitreverse/1",
+		BP1: Result{
+			Config: "Compact2", Signature: "scimark/fft/FFT.bitreverse/1",
+			Policy: BP1, Fired: 1234, Distinct: 40, Static: 44,
+			MeshCycles: 5678, ParallelCycles: 90, BusyCycles: 3000,
+			MaxNode: 44,
+		},
+		BP2: Result{
+			Config: "Compact2", Signature: "scimark/fft/FFT.bitreverse/1",
+			Policy: BP2, Fired: 1200, Distinct: 41, Static: 44,
+			MeshCycles: 5600, ParallelCycles: 85, BusyCycles: 2900,
+			MaxNode: 44, TimedOut: true,
+		},
+	}
+}
+
+func TestMethodRunCodecRoundTrip(t *testing.T) {
+	want := sampleRun()
+	data, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got MethodRun
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got != want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestMethodRunCodecStable(t *testing.T) {
+	a, _ := sampleRun().MarshalBinary()
+	b, _ := sampleRun().MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("equal runs marshalled to different bytes")
+	}
+	zero, _ := (MethodRun{}).MarshalBinary()
+	if bytes.Equal(a, zero) {
+		t.Fatalf("distinct runs marshalled to equal bytes")
+	}
+}
+
+func TestMethodRunCodecRejectsGarbage(t *testing.T) {
+	data, _ := sampleRun().MarshalBinary()
+	var mr MethodRun
+	if err := mr.UnmarshalBinary(data[:len(data)-3]); err == nil {
+		t.Fatalf("truncated buffer decoded without error")
+	}
+	if err := mr.UnmarshalBinary(append(append([]byte{}, data...), 0xAB)); err == nil {
+		t.Fatalf("trailing bytes decoded without error")
+	}
+	bad := append([]byte{}, data...)
+	bad[0] = 99 // wrong codec version
+	if err := mr.UnmarshalBinary(bad); err == nil {
+		t.Fatalf("wrong version decoded without error")
+	}
+}

@@ -1,0 +1,151 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSeedStore populates a fresh store with n run records and returns
+// the keys and the path of the segment holding them.
+func writeSeedStore(t *testing.T, dir string, n int) ([]RunKey, string) {
+	t.Helper()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	m, cfg := testMethod(t)
+	run := runFor(t, cfg, m)
+	keys := make([]RunKey, n)
+	for i := range keys {
+		k := RunKeyFor(cfg, m, 400_000)
+		k.Signature = fmt.Sprintf("%s#%d", k.Signature, i)
+		keys[i] = k
+		st.PutRun(k, run)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return keys, filepath.Join(dir, segmentName(1))
+}
+
+func TestStoreRecoversFromTruncatedSegment(t *testing.T) {
+	dir := t.TempDir()
+	keys, seg := writeSeedStore(t, dir, 3)
+
+	// Tear the final record as a crash mid-append would: keep its header
+	// but lose part of its body and the checksum.
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-10], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after truncation: %v", err)
+	}
+	defer st.Close()
+	for _, k := range keys[:2] {
+		if _, ok := st.GetRun(k); !ok {
+			t.Fatalf("intact record %s lost after truncation", k.Signature)
+		}
+	}
+	if _, ok := st.GetRun(keys[2]); ok {
+		t.Fatal("torn record served")
+	}
+	stats := st.Stats()
+	if stats.Records != 2 || stats.TornBytes == 0 {
+		t.Fatalf("stats = %+v, want 2 records and nonzero torn bytes", stats)
+	}
+}
+
+func TestStoreSkipsChecksumFlippedRecord(t *testing.T) {
+	dir := t.TempDir()
+	keys, seg := writeSeedStore(t, dir, 3)
+
+	// Flip one bit in the final record's CRC trailer: the frame stays
+	// parseable, the checksum fails, and replay must skip exactly that
+	// record while keeping the ones before it.
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after bit flip: %v", err)
+	}
+	defer st.Close()
+	for _, k := range keys[:2] {
+		if _, ok := st.GetRun(k); !ok {
+			t.Fatalf("clean record %s lost after unrelated bit flip", k.Signature)
+		}
+	}
+	if _, ok := st.GetRun(keys[2]); ok {
+		t.Fatal("checksum-failed record served")
+	}
+	stats := st.Stats()
+	if stats.Records != 2 || stats.SkippedRecords != 1 || stats.TornBytes != 0 {
+		t.Fatalf("stats = %+v, want 2 records / 1 skipped / 0 torn", stats)
+	}
+}
+
+func TestStoreSkipsFlippedValueByteMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	keys, seg := writeSeedStore(t, dir, 3)
+
+	// Corrupt a byte inside the FIRST record's value: replay must skip it
+	// and still deliver both later records.
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	firstKey := keys[0].encode()
+	data[headerSize+len(firstKey)+4] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after value corruption: %v", err)
+	}
+	defer st.Close()
+	if _, ok := st.GetRun(keys[0]); ok {
+		t.Fatal("corrupted record served")
+	}
+	for _, k := range keys[1:] {
+		if _, ok := st.GetRun(k); !ok {
+			t.Fatalf("record %s after the corrupted one was lost", k.Signature)
+		}
+	}
+	if stats := st.Stats(); stats.SkippedRecords != 1 || stats.Records != 2 {
+		t.Fatalf("stats = %+v, want 1 skipped / 2 records", stats)
+	}
+}
+
+// TestStoreUndecodableValueIsMiss covers a value that passes the CRC but
+// fails the codec (e.g. written by a future layout): it must read as a
+// miss, not an error.
+func TestStoreUndecodableValueIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer st.Close()
+	m, cfg := testMethod(t)
+	k := RunKeyFor(cfg, m, 400_000)
+	st.put(recTypeRun, k.encode(), []byte{99, 1, 2, 3}) // bogus codec version
+	if _, ok := st.GetRun(k); ok {
+		t.Fatal("undecodable value served as a hit")
+	}
+}

@@ -1,0 +1,112 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"javaflow/internal/classfile"
+	"javaflow/internal/sim"
+)
+
+// DeployKey identifies one deployment outcome: a method placed and
+// address-resolved on a fabric geometry. It deliberately omits the
+// configuration *name* — Compact10/Compact4/Compact2 share a geometry, so
+// they share deployments (ROADMAP "cross-config deployment sharing") —
+// and carries a content hash of the method body so a population change
+// that reuses a signature can never replay a stale deployment. Like
+// RunKey it embeds sim.EngineVersion: a placement/resolution algorithm
+// change bumps the version and orphans old deployment records instead of
+// replaying stale NodeOf/Targets arrays.
+type DeployKey struct {
+	Signature  string
+	MethodHash uint64
+	Geometry   string
+}
+
+func (k DeployKey) encode() []byte {
+	return []byte(fmt.Sprintf("dep|e%d|%s|%016x|%s",
+		sim.EngineVersion, k.Signature, k.MethodHash, k.Geometry))
+}
+
+// RunKey identifies one MethodRun: a deployment plus everything else that
+// can change the engine's observable output — the serial clocking rule,
+// the mesh-cycle bound, and the engine version.
+type RunKey struct {
+	DeployKey
+	SerialPerMesh int
+	MaxMeshCycles int
+}
+
+func (k RunKey) encode() []byte {
+	return []byte(fmt.Sprintf("run|e%d|%s|%016x|%s|spm%d|max%d",
+		sim.EngineVersion, k.Signature, k.MethodHash, k.Geometry,
+		k.SerialPerMesh, k.MaxMeshCycles))
+}
+
+// DeployKeyFor builds the deployment key of m on cfg's fabric.
+func DeployKeyFor(cfg sim.Config, m *classfile.Method) DeployKey {
+	return DeployKey{
+		Signature:  m.Signature(),
+		MethodHash: MethodHash(m),
+		Geometry:   cfg.Fabric.GeometryKey(),
+	}
+}
+
+// RunKeyFor builds the result key of m on cfg with the given effective
+// mesh-cycle bound (the caller resolves defaults first; 0 here would make
+// distinct bounds collide).
+func RunKeyFor(cfg sim.Config, m *classfile.Method, maxMeshCycles int) RunKey {
+	return RunKey{
+		DeployKey:     DeployKeyFor(cfg, m),
+		SerialPerMesh: cfg.SerialPerMesh,
+		MaxMeshCycles: maxMeshCycles,
+	}
+}
+
+// MethodHash fingerprints everything about a method that deployment and
+// execution observe: identity, register/stack shape, and the full
+// instruction stream (opcode, operands, branch and switch targets, stack
+// effects). FNV-1a over a fixed little-endian field walk.
+func MethodHash(m *classfile.Method) uint64 {
+	h := fnv.New64a()
+	var scratch [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(v))
+		h.Write(scratch[:])
+	}
+	writeBool := func(b bool) {
+		if b {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	h.Write([]byte(m.Class))
+	h.Write([]byte{0})
+	h.Write([]byte(m.Name))
+	h.Write([]byte{0})
+	writeInt(int64(m.Argc))
+	writeBool(m.Instance)
+	writeBool(m.ReturnsValue)
+	writeInt(int64(m.MaxLocals))
+	writeInt(int64(m.MaxStack))
+	writeInt(int64(len(m.Code)))
+	for _, in := range m.Code {
+		writeInt(int64(in.Op))
+		writeInt(in.A)
+		writeInt(in.B)
+		writeInt(int64(in.Target))
+		writeInt(int64(len(in.SwitchKeys)))
+		for _, k := range in.SwitchKeys {
+			writeInt(k)
+		}
+		writeInt(int64(len(in.SwitchTargets)))
+		for _, t := range in.SwitchTargets {
+			writeInt(int64(t))
+		}
+		writeInt(int64(in.Pop))
+		writeInt(int64(in.Push))
+	}
+	return h.Sum64()
+}
