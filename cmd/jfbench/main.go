@@ -37,6 +37,7 @@ func main() {
 		cycles    = flag.Int("maxcycles", 400_000, "per-execution mesh-cycle timeout")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size (1 = serial)")
 		stDir     = flag.String("store-dir", "", "persistent result store directory (empty = recompute everything)")
+		peers     = flag.String("peers", "", "comma-separated jfserved base URLs to dispatch sweeps across (must serve the same -gen/-seed corpus)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,11 @@ func main() {
 	ctx.Seed = *seed
 	ctx.MaxMeshCycles = *cycles
 	ctx.Workers = *workers
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			ctx.Peers = append(ctx.Peers, p)
+		}
+	}
 
 	// fail closes the store (flushing queued writes) before exiting
 	// non-zero; os.Exit skips deferred calls.
@@ -73,6 +79,7 @@ func main() {
 		}
 		if !*all && *table == "" {
 			reportStore(ctx)
+			reportDispatch(ctx)
 			if err := ctx.Close(); err != nil {
 				fail(1, "jfbench: closing store: %v\n", err)
 			}
@@ -109,9 +116,25 @@ func main() {
 	}
 
 	reportStore(ctx)
+	reportDispatch(ctx)
 	if err := ctx.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "jfbench: closing store: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// reportDispatch prints the per-backend job split of a -peers run, so a
+// 1-vs-N comparison can see how the sweep sharded.
+func reportDispatch(ctx *experiments.Context) {
+	st := ctx.DispatchStats()
+	if st == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "jfbench: dispatch — %d retries, %d local fallbacks\n",
+		st.Retries, st.LocalFallbacks)
+	for _, b := range st.Backends {
+		fmt.Fprintf(os.Stderr, "jfbench: dispatch backend %s — %d jobs, %d errors, %.1f%% ring share\n",
+			b.Name, b.Jobs, b.Errors, 100*b.RingShare)
 	}
 }
 

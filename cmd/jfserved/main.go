@@ -1,6 +1,9 @@
 // Command jfserved is the JavaFlow simulation daemon: it loads the method
 // population once, keeps deployments hot in a sharded LRU cache, and serves
-// concurrent simulation traffic over HTTP.
+// concurrent simulation traffic over HTTP. With -peers it becomes a
+// dispatch front, sharding batch jobs across remote jfserved instances by
+// consistent-hashing the method signature (falling back to the local
+// scheduler when peers fail).
 //
 // Usage:
 //
@@ -8,29 +11,33 @@
 //	jfserved -addr :9000 -workers 8 -cache 4096
 //	jfserved -gen 400              # smaller generated population (faster boot)
 //	jfserved -store-dir ./results  # persist results across restarts
+//	jfserved -peers http://10.0.0.7:8077,http://10.0.0.8:8077
 //
 // Endpoints:
 //
 //	POST /v1/run      {"config":"Hetero2","method":"scimark/fft/FFT.bitreverse/1"}
 //	POST /v1/batch    {"configs":["Baseline"],"summaryOnly":true}
+//	POST /v1/batch?stream=ndjson    (per-job results as they complete)
 //	GET  /v1/configs
 //	GET  /v1/methods
+//	GET  /v1/store    (and POST /v1/store/compact)
 //	GET  /metrics
 //	GET  /healthz
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
-	"net/http"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"javaflow/internal/dispatch"
 	"javaflow/internal/serve"
 	"javaflow/internal/sim"
 	"javaflow/internal/store"
@@ -39,14 +46,16 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8077", "listen address")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
-		cacheN  = flag.Int("cache", serve.DefaultCacheCapacity, "deployment cache capacity (entries)")
-		gen     = flag.Int("gen", 1580, "generated-method population size")
-		seed    = flag.Int64("seed", 2014, "generated-method population seed")
-		cycles  = flag.Int("maxcycles", 400_000, "default per-execution mesh-cycle timeout")
-		drain   = flag.Duration("drain", 5*time.Minute, "graceful-shutdown drain window for in-flight requests")
-		stDir   = flag.String("store-dir", "", "directory for the persistent result store (empty = memory-only)")
+		addr     = flag.String("addr", ":8077", "listen address")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
+		cacheN   = flag.Int("cache", serve.DefaultCacheCapacity, "deployment cache capacity (entries)")
+		gen      = flag.Int("gen", 1580, "generated-method population size")
+		seed     = flag.Int64("seed", 2014, "generated-method population seed")
+		cycles   = flag.Int("maxcycles", 400_000, "default per-execution mesh-cycle timeout")
+		drain    = flag.Duration("drain", 5*time.Minute, "graceful-shutdown drain window for in-flight requests")
+		stDir    = flag.String("store-dir", "", "directory for the persistent result store (empty = memory-only)")
+		peers    = flag.String("peers", "", "comma-separated base URLs of backend jfserved instances to dispatch batches across")
+		inflight = flag.Int("peer-inflight", 0, "max concurrent jobs per dispatch backend (0 = default)")
 	)
 	flag.Parse()
 
@@ -77,40 +86,60 @@ func main() {
 		Store:         st,
 	})
 	svc := serve.NewService(sched, sim.Configurations(), methods)
-	srv := serve.NewServer(*addr, svc)
+
+	dispatchNote := "single-node"
+	if *peers != "" {
+		d, err := dispatch.New(dispatch.Options{
+			Peers:       splitPeers(*peers),
+			Local:       sched,
+			MaxInflight: *inflight,
+		})
+		if err != nil {
+			fatal("jfserved: %v\n", err)
+		}
+		svc.SetBatchRunner(d)
+		probeCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		up := d.HealthyPeers(probeCtx)
+		cancel()
+		dispatchNote = fmt.Sprintf("dispatching to %d peers (%d healthy now)", len(d.Backends()), up)
+	}
+
+	daemon := &serve.Daemon{
+		Addr:    *addr,
+		Service: svc,
+		Store:   st,
+		Drain:   *drain,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("jfserved: "+format+"\n", args...)
+		},
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
 	storeNote := "memory-only"
 	if st != nil {
 		storeNote = fmt.Sprintf("store %s (%d warm records)", st.Dir(), st.Len())
 	}
-	fmt.Printf("jfserved: %d methods, %d configurations, %d workers, cache %d, %s — listening on %s\n",
-		len(methods), len(svc.Configs()), *workers, *cacheN, storeNote, *addr)
+	err := daemon.Run(ctx, func(bound net.Addr) {
+		fmt.Printf("jfserved: %d methods, %d configurations, %d workers, cache %d, %s, %s — listening on %s\n",
+			len(methods), len(svc.Configs()), *workers, *cacheN, storeNote, dispatchNote, bound)
+	})
+	if err != nil {
+		// The daemon has already flushed and closed the store.
+		fmt.Fprintf(os.Stderr, "jfserved: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("jfserved: shut down cleanly")
+}
 
-	select {
-	case err := <-errCh:
-		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fatal("jfserved: %v\n", err)
-		}
-	case <-ctx.Done():
-		stop()
-		fmt.Println("jfserved: shutting down")
-		// The drain window must accommodate a full in-flight batch sweep
-		// (the server's write timeout allows one to run for minutes).
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
-		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fatal("jfserved: shutdown: %v\n", err)
+// splitPeers parses the -peers flag, tolerating spaces and empty entries.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
 		}
 	}
-	if st != nil {
-		if err := st.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "jfserved: closing store: %v\n", err)
-			os.Exit(1)
-		}
-	}
+	return out
 }

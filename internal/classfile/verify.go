@@ -150,7 +150,14 @@ func Verify(m *Method) error {
 		return &VerifyError{m.Signature(), 0,
 			fmt.Sprintf("computed max stack %d exceeds declared %d", maxDepth, m.MaxStack)}
 	}
-	m.MaxStack = maxDepth
+	// Skip the no-op rewrite on re-verification: corpus methods are
+	// verified (and stamped) serially at construction, but deployment
+	// re-verifies them from worker goroutines — possibly the same method
+	// concurrently on two fabric geometries — and an unconditional write
+	// of the identical value is still a data race.
+	if m.MaxStack != maxDepth {
+		m.MaxStack = maxDepth
+	}
 	return nil
 }
 

@@ -1,0 +1,136 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"javaflow/internal/serve"
+	"javaflow/internal/sim"
+)
+
+// A Backend executes one dispatched job: a remote jfserved instance over
+// HTTP, the in-process scheduler, or a test double. Implementations must
+// be safe for concurrent use; errors other than *fabric.LoadError and
+// context cancellation are treated as transient and retried on another
+// node.
+type Backend interface {
+	// Name identifies the backend in metrics and ring placement; names
+	// must be unique within a dispatcher.
+	Name() string
+	// Run executes job under the given effective mesh-cycle bound (always
+	// resolved, never 0) and returns the completed two-policy MethodRun.
+	Run(ctx context.Context, job serve.Job, maxCycles int) (sim.MethodRun, error)
+}
+
+// maxErrorBody bounds how much of a failed response is read for the error
+// message.
+const maxErrorBody = 1 << 20
+
+// Remote is a Backend that forwards jobs to another jfserved instance via
+// POST /v1/run. Config and method are sent by name, so the peer must serve
+// the same registry (same corpus flags); a peer that does not know a name
+// fails the job, which the dispatcher then retries elsewhere or runs
+// locally.
+type Remote struct {
+	base   string // URL prefix without trailing slash, e.g. "http://host:8077"
+	client *http.Client
+}
+
+// NewRemote builds a backend for the jfserved instance at baseURL. A nil
+// client uses http.DefaultClient; either way per-request lifetimes come
+// from the dispatch context, not a client timeout, because a cold sweep
+// job can legitimately simulate for a long time.
+func NewRemote(baseURL string, client *http.Client) *Remote {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Remote{base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+// Name returns the peer's base URL.
+func (r *Remote) Name() string { return r.base }
+
+// Run posts the job to the peer and decodes the result. Non-2xx responses
+// become errors; a 422 rejection is rehydrated into the same typed
+// *fabric.LoadError a local run would return, so skip accounting is
+// identical on both paths.
+func (r *Remote) Run(ctx context.Context, job serve.Job, maxCycles int) (sim.MethodRun, error) {
+	body, err := json.Marshal(serve.RunRequest{
+		Config:        job.Config.Name,
+		Method:        job.Method.Signature(),
+		MaxMeshCycles: maxCycles,
+	})
+	if err != nil {
+		return sim.MethodRun{}, fmt.Errorf("dispatch: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return sim.MethodRun{}, fmt.Errorf("dispatch: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// One hop only: the receiving node executes locally even if it is
+	// itself a dispatch front (or this very process — a self-peer must
+	// not recurse).
+	req.Header.Set(serve.DispatchedHeader, "1")
+
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return sim.MethodRun{}, fmt.Errorf("dispatch: %s: %w", r.base, err)
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+		var ep serve.ErrorPayload
+		if json.Unmarshal(data, &ep) == nil && ep.Kind == serve.ErrKindRejected {
+			return sim.MethodRun{}, ep.Err()
+		}
+		msg := strings.TrimSpace(string(data))
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return sim.MethodRun{}, fmt.Errorf("dispatch: %s: status %d: %s", r.base, resp.StatusCode, msg)
+	}
+
+	var payload serve.RunPayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return sim.MethodRun{}, fmt.Errorf("dispatch: %s: decoding response: %w", r.base, err)
+	}
+	// RunPayload carries both full Result structs; reassembling them is
+	// lossless (all fields are ints, bools and strings), so a dispatched
+	// run is byte-identical to a local one.
+	return sim.MethodRun{Signature: payload.Signature, BP1: payload.BP1, BP2: payload.BP2}, nil
+}
+
+// Healthy reports whether the peer answers /healthz. Used for operator
+// feedback at startup, not for routing — routing health is learned from
+// job outcomes.
+func (r *Remote) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// localBackend adapts the in-process scheduler to the Backend interface —
+// the terminal fallback every dispatched job can land on.
+type localBackend struct {
+	sched *serve.Scheduler
+}
+
+func (l localBackend) Name() string { return "local" }
+
+func (l localBackend) Run(ctx context.Context, job serve.Job, maxCycles int) (sim.MethodRun, error) {
+	return l.sched.RunMethodCycles(ctx, job.Config, job.Method, maxCycles)
+}

@@ -1,0 +1,436 @@
+// Package dispatch shards simulation batches across multiple jfserved
+// instances. A Dispatcher fronts N backends — remote peers spoken to over
+// the /v1/run HTTP API, plus the in-process scheduler as a terminal
+// fallback — behind the same RunBatch-shaped interface serve.Scheduler
+// exposes, so the HTTP surface, the bench driver and the experiment sweeps
+// can switch between one node and many without changing shape.
+//
+// Routing is a consistent-hash ring keyed on the method signature: the
+// same method always lands on the same node, keeping that node's
+// deployment cache (and persistent store) hot for it, and adding a peer
+// only moves the keys the new peer takes over. Jobs fan out concurrently
+// with per-backend bounded inflight; a job that fails transiently (peer
+// down, 5xx, network error) is retried once on the next node clockwise,
+// and if that also fails it runs on the local scheduler — so a sweep
+// completes, with identical results, even with every peer unreachable.
+// Results are merged in submission order, byte-identical to the
+// single-node serial path.
+//
+// Backends that keep failing are suspended after failureThreshold
+// consecutive errors; a suspended backend is skipped at routing time (its
+// keys shift to the next node clockwise, nobody else's move) and probed
+// with a real job every probeEvery skips so it rejoins once healthy.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+
+	"javaflow/internal/fabric"
+	"javaflow/internal/serve"
+	"javaflow/internal/sim"
+)
+
+// Defaults for Options fields left zero.
+const (
+	defaultInflight         = 8
+	defaultFailureThreshold = 3
+	defaultProbeEvery       = 64
+)
+
+// Options configures a Dispatcher.
+type Options struct {
+	// Peers are the base URLs of remote jfserved instances (e.g.
+	// "http://10.0.0.7:8077"). They must serve the same method and
+	// configuration registry as this process.
+	Peers []string
+	// Client is the HTTP client for peer traffic (nil uses a dedicated
+	// client with per-host keep-alive sized to the inflight bound).
+	Client *http.Client
+	// Local is the in-process scheduler: the terminal fallback for jobs
+	// whose remote attempts fail, and the source of the default mesh-cycle
+	// bound. Required.
+	Local *serve.Scheduler
+	// MaxInflight bounds concurrent jobs per backend (<=0 uses 8).
+	MaxInflight int
+	// Replicas is the virtual-node count per backend on the hash ring
+	// (<=0 uses 128).
+	Replicas int
+	// FailureThreshold suspends a backend after this many consecutive
+	// transient failures (<=0 uses 3).
+	FailureThreshold int
+	// ProbeEvery routes every Nth job that would have skipped a suspended
+	// backend to it anyway, so recovered peers rejoin (<=0 uses 64).
+	ProbeEvery int
+}
+
+// backendState wraps a Backend with its routing health and accounting.
+type backendState struct {
+	b   Backend
+	sem chan struct{} // bounded inflight
+
+	jobs        atomic.Int64 // jobs this backend completed (incl. rejections)
+	errs        atomic.Int64 // transient failures observed here
+	retriedAway atomic.Int64 // jobs rerouted after failing here
+	consecFails atomic.Int64 // current consecutive-failure streak
+	probeSkips  atomic.Int64 // routing decisions that skipped this backend while suspended
+}
+
+// Dispatcher routes jobs across backends. It implements serve.BatchRunner
+// and is safe for concurrent use.
+type Dispatcher struct {
+	backends []*backendState
+	ring     *ring
+	local    *serve.Scheduler
+	localSem chan struct{}
+
+	failureThreshold int64
+	probeEvery       int64
+
+	localFallbacks atomic.Int64
+	retries        atomic.Int64
+}
+
+var _ serve.BatchRunner = (*Dispatcher)(nil)
+
+// New builds a dispatcher over opts.Peers. Peer URLs are validated here;
+// reachability is not — unreachable peers are discovered (and routed
+// around) per job.
+func New(opts Options) (*Dispatcher, error) {
+	if opts.Local == nil {
+		return nil, errors.New("dispatch: Options.Local scheduler is required")
+	}
+	client := opts.Client
+	if client == nil {
+		inflight := opts.MaxInflight
+		if inflight <= 0 {
+			inflight = defaultInflight
+		}
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        inflight * (len(opts.Peers) + 1),
+			MaxIdleConnsPerHost: inflight,
+		}}
+	}
+	backends := make([]Backend, 0, len(opts.Peers))
+	seen := make(map[string]bool, len(opts.Peers))
+	for _, p := range opts.Peers {
+		u, err := url.Parse(p)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("dispatch: bad peer URL %q", p)
+		}
+		r := NewRemote(p, client)
+		if seen[r.Name()] {
+			return nil, fmt.Errorf("dispatch: duplicate peer %q", r.Name())
+		}
+		seen[r.Name()] = true
+		backends = append(backends, r)
+	}
+	return NewWithBackends(backends, opts)
+}
+
+// NewWithBackends is New with explicit backends — the seam failure-mode
+// tests inject doubles through. Options.Peers is ignored.
+func NewWithBackends(backends []Backend, opts Options) (*Dispatcher, error) {
+	if opts.Local == nil {
+		return nil, errors.New("dispatch: Options.Local scheduler is required")
+	}
+	inflight := opts.MaxInflight
+	if inflight <= 0 {
+		inflight = defaultInflight
+	}
+	threshold := opts.FailureThreshold
+	if threshold <= 0 {
+		threshold = defaultFailureThreshold
+	}
+	probe := opts.ProbeEvery
+	if probe <= 0 {
+		probe = defaultProbeEvery
+	}
+	d := &Dispatcher{
+		local:            opts.Local,
+		localSem:         make(chan struct{}, opts.Local.Workers()),
+		failureThreshold: int64(threshold),
+		probeEvery:       int64(probe),
+	}
+	names := make([]string, len(backends))
+	for i, b := range backends {
+		names[i] = b.Name()
+		d.backends = append(d.backends, &backendState{
+			b:   b,
+			sem: make(chan struct{}, inflight),
+		})
+	}
+	d.ring = newRing(names, opts.Replicas)
+	return d, nil
+}
+
+// Backends lists the backend names in ring-slot order.
+func (d *Dispatcher) Backends() []string {
+	names := make([]string, len(d.backends))
+	for i, bs := range d.backends {
+		names[i] = bs.b.Name()
+	}
+	return names
+}
+
+// HealthyPeers probes each backend that supports a health check (Remote's
+// /healthz) and returns how many answered. Operator feedback at startup;
+// routing health is learned from job outcomes, not from this.
+func (d *Dispatcher) HealthyPeers(ctx context.Context) int {
+	up := 0
+	for _, bs := range d.backends {
+		if h, ok := bs.b.(interface{ Healthy(context.Context) bool }); ok && h.Healthy(ctx) {
+			up++
+		}
+	}
+	return up
+}
+
+// suspended reports whether routing should skip backend i, with the probe
+// escape hatch: every probeEvery-th skip routes a real job there anyway so
+// a recovered peer rejoins without an external health checker.
+func (d *Dispatcher) suspended(i int) bool {
+	bs := d.backends[i]
+	if bs.consecFails.Load() < d.failureThreshold {
+		return false
+	}
+	return bs.probeSkips.Add(1)%d.probeEvery != 0
+}
+
+// route picks the ring owner for sig, skipping exclude (-1 for none) and
+// suspended backends. Returns -1 when no backend is available.
+func (d *Dispatcher) route(sig string, exclude int) int {
+	return d.ring.owner(sig, func(i int) bool {
+		return i == exclude || d.suspended(i)
+	})
+}
+
+// transient reports whether err should move the job to another node.
+// Rejections are real results (the fabric refused the method — every node
+// agrees), and cancellation is the caller's choice; everything else is a
+// backend problem.
+func transient(err error) bool {
+	var le *fabric.LoadError
+	if errors.As(err, &le) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// attempt runs job on backend i under its inflight bound and updates that
+// backend's health accounting.
+func (d *Dispatcher) attempt(ctx context.Context, i int, job serve.Job, maxCycles int) (sim.MethodRun, error) {
+	bs := d.backends[i]
+	select {
+	case bs.sem <- struct{}{}:
+	case <-ctx.Done():
+		return sim.MethodRun{}, ctx.Err()
+	}
+	defer func() { <-bs.sem }()
+
+	run, err := bs.b.Run(ctx, job, maxCycles)
+	if err != nil && transient(err) {
+		bs.errs.Add(1)
+		bs.consecFails.Add(1)
+		return run, err
+	}
+	// Success — including a typed rejection, which proves the backend is
+	// healthy enough to have tried the deploy.
+	bs.jobs.Add(1)
+	bs.consecFails.Store(0)
+	return run, err
+}
+
+// runLocal executes job on the in-process scheduler under its own inflight
+// bound (the scheduler's worker count), so a dispatcher-wide fallback
+// storm cannot oversubscribe the local pool.
+func (d *Dispatcher) runLocal(ctx context.Context, job serve.Job, maxCycles int) (sim.MethodRun, error) {
+	select {
+	case d.localSem <- struct{}{}:
+	case <-ctx.Done():
+		return sim.MethodRun{}, ctx.Err()
+	}
+	defer func() { <-d.localSem }()
+	return d.local.RunMethodCycles(ctx, job.Config, job.Method, maxCycles)
+}
+
+// runJob is the per-job routing policy: ring owner, one retry on the next
+// node clockwise, then the local scheduler.
+func (d *Dispatcher) runJob(ctx context.Context, job serve.Job, maxCycles int) (sim.MethodRun, error) {
+	sig := job.Method.Signature()
+	first := d.route(sig, -1)
+	if first >= 0 {
+		run, err := d.attempt(ctx, first, job, maxCycles)
+		if err == nil || !transient(err) {
+			return run, err
+		}
+		d.retries.Add(1)
+		d.backends[first].retriedAway.Add(1)
+		if second := d.route(sig, first); second >= 0 {
+			run, err = d.attempt(ctx, second, job, maxCycles)
+			if err == nil || !transient(err) {
+				return run, err
+			}
+		}
+	}
+	d.localFallbacks.Add(1)
+	return d.runLocal(ctx, job, maxCycles)
+}
+
+// maxCyclesOrDefault resolves the effective per-execution bound. Remotes
+// are always sent an explicit bound — never 0 — so every backend simulates
+// and store-keys the job identically to this node's default.
+func (d *Dispatcher) maxCyclesOrDefault(maxCycles int) int {
+	if maxCycles > 0 {
+		return maxCycles
+	}
+	return d.local.MaxMeshCycles()
+}
+
+// RunBatchCycles dispatches jobs across the backends and returns one
+// result per job in submission order, byte-identical to running the same
+// batch on the local scheduler alone.
+func (d *Dispatcher) RunBatchCycles(ctx context.Context, jobs []serve.Job, maxCycles int) []serve.JobResult {
+	return d.RunBatchStream(ctx, jobs, maxCycles, nil)
+}
+
+// workerCount sizes the fan-out pool to the fleet's aggregate capacity:
+// every backend's inflight bound plus the local pool, so the dispatcher
+// can saturate all backends at once without spawning a goroutine per job.
+func (d *Dispatcher) workerCount(jobs int) int {
+	w := cap(d.localSem)
+	for _, bs := range d.backends {
+		w += cap(bs.sem)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunBatchStream is RunBatchCycles with incremental delivery: emit (when
+// non-nil) receives each completed result exactly once, in submission
+// order.
+func (d *Dispatcher) RunBatchStream(ctx context.Context, jobs []serve.Job, maxCycles int, emit func(i int, r serve.JobResult)) []serve.JobResult {
+	results := make([]serve.JobResult, len(jobs))
+	for i, j := range jobs {
+		results[i].Job = j
+	}
+	if len(jobs) == 0 {
+		return results
+	}
+	maxCycles = d.maxCyclesOrDefault(maxCycles)
+
+	indexes := make(chan int)
+	// Buffered for the whole batch so workers and the feeder never block
+	// on the collector.
+	completed := make(chan int, len(jobs))
+	var wg sync.WaitGroup
+	for w := d.workerCount(len(jobs)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				run, err := d.runJob(ctx, jobs[i], maxCycles)
+				results[i].Run = run
+				results[i].Err = err
+				completed <- i
+			}
+		}()
+	}
+	go func() {
+	feed:
+		for i := range jobs {
+			select {
+			case indexes <- i:
+			case <-ctx.Done():
+				// Jobs never handed to a worker report the cancellation;
+				// delivered jobs stamp it via runJob's own ctx checks.
+				for k := i; k < len(jobs); k++ {
+					results[k].Err = ctx.Err()
+					completed <- k
+				}
+				break feed
+			}
+		}
+		close(indexes)
+		wg.Wait()
+		close(completed)
+	}()
+
+	done := make([]bool, len(results))
+	next := 0
+	for i := range completed {
+		done[i] = true
+		for next < len(results) && done[next] {
+			if emit != nil {
+				emit(next, results[next])
+			}
+			next++
+		}
+	}
+	return results
+}
+
+// BackendStats is one backend's slice of Stats.
+type BackendStats struct {
+	Name string `json:"name"`
+	// Jobs counts jobs this backend completed, including typed rejections.
+	Jobs int64 `json:"jobs"`
+	// Errors counts transient failures observed on this backend.
+	Errors int64 `json:"errors"`
+	// RetriedAway counts jobs rerouted to another node after failing here.
+	RetriedAway int64 `json:"retriedAway"`
+	// RingShare is the fraction of the hash keyspace this backend owns.
+	RingShare float64 `json:"ringShare"`
+	// Suspended reports whether routing currently skips this backend.
+	Suspended bool `json:"suspended"`
+}
+
+// Stats is the dispatcher's GET /metrics payload.
+type Stats struct {
+	Backends []BackendStats `json:"backends"`
+	// VirtualNodes is the total ring-point count (replicas × backends).
+	VirtualNodes int `json:"virtualNodes"`
+	// Retries counts jobs that needed a second node.
+	Retries int64 `json:"retries"`
+	// LocalFallbacks counts jobs that ended on the in-process scheduler.
+	LocalFallbacks int64 `json:"localFallbacks"`
+}
+
+// Stats snapshots the dispatcher's routing counters.
+func (d *Dispatcher) Stats() Stats {
+	shares := d.ring.shares()
+	s := Stats{
+		Backends:       make([]BackendStats, len(d.backends)),
+		VirtualNodes:   len(d.ring.points),
+		Retries:        d.retries.Load(),
+		LocalFallbacks: d.localFallbacks.Load(),
+	}
+	for i, bs := range d.backends {
+		s.Backends[i] = BackendStats{
+			Name:        bs.b.Name(),
+			Jobs:        bs.jobs.Load(),
+			Errors:      bs.errs.Load(),
+			RetriedAway: bs.retriedAway.Load(),
+			RingShare:   shares[i],
+			Suspended:   bs.consecFails.Load() >= d.failureThreshold,
+		}
+	}
+	return s
+}
+
+// DispatchStats implements serve's metrics hook (serve.DispatchStatser),
+// folding Stats into GET /metrics.
+func (d *Dispatcher) DispatchStats() any { return d.Stats() }

@@ -1,0 +1,79 @@
+package dispatch
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestRingDeterministicOwnership(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := newRing(names, 0)
+	r2 := newRing(names, 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("pkg/Class.method/%d", i)
+		if got, want := r1.owner(key, nil), r2.owner(key, nil); got != want {
+			t.Fatalf("key %q: owner differs across identical rings: %d vs %d", key, got, want)
+		}
+		if again := r1.owner(key, nil); again != r1.owner(key, nil) {
+			t.Fatalf("key %q: owner not stable on one ring", key)
+		}
+	}
+}
+
+// Suspending one backend must move only that backend's keys; every key
+// owned by a surviving backend stays put — the consistent-hash property
+// that keeps deployment caches hot through peer failures.
+func TestRingFailureMovesOnlyFailedKeys(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(names, 0)
+	const dead = 1
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("pkg/Class.method/%d", i)
+		before := r.owner(key, nil)
+		after := r.owner(key, func(b int) bool { return b == dead })
+		if before != dead && after != before {
+			t.Fatalf("key %q moved from healthy backend %d to %d when backend %d died",
+				key, before, after, dead)
+		}
+		if before == dead && after == dead {
+			t.Fatalf("key %q still routed to dead backend", key)
+		}
+	}
+	// All backends skipped: no owner.
+	if got := r.owner("anything", func(int) bool { return true }); got != -1 {
+		t.Fatalf("owner with all skipped = %d, want -1", got)
+	}
+}
+
+func TestRingSharesRoughlyEven(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := newRing(names, 0)
+	shares := r.shares()
+	total := 0.0
+	for i, s := range shares {
+		total += s
+		// 128 virtual nodes per backend keeps each share within a few x
+		// of even; the bound here is loose on purpose.
+		if s < 0.05 || s > 0.60 {
+			t.Fatalf("backend %d owns %.1f%% of the keyspace", i, 100*s)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", total)
+	}
+
+	// Job counts over a well-spread key population track the shares.
+	counts := make([]int, len(names))
+	const keys = 50000
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("pkg%d/Class%d.method/%d", i*7919, i*104729, i%7), nil)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / keys
+		if math.Abs(frac-shares[i]) > 0.02 {
+			t.Fatalf("backend %d: observed %.1f%% of keys vs %.1f%% ring share",
+				i, 100*frac, 100*shares[i])
+		}
+	}
+}

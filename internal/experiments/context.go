@@ -13,6 +13,7 @@ import (
 
 	"javaflow/internal/classfile"
 	"javaflow/internal/dataflow"
+	"javaflow/internal/dispatch"
 	"javaflow/internal/jvm"
 	"javaflow/internal/serve"
 	"javaflow/internal/sim"
@@ -33,8 +34,14 @@ type Context struct {
 	// Workers sizes the simulation worker pool the sweeps fan out over
 	// (0 = GOMAXPROCS, 1 = serial).
 	Workers int
+	// Peers lists remote jfserved base URLs to shard sweeps across
+	// (consistent-hash dispatch); empty runs everything in process. The
+	// peers must serve the same corpus (same -gen/-seed) and
+	// configurations. Set before the first sweep.
+	Peers []string
 
 	sched     *serve.Scheduler
+	runner    serve.BatchRunner
 	store     *store.Store
 	suites    []*workload.Suite
 	profiles  map[string]*jvm.Profile // suite name -> dynamic profile
@@ -71,6 +78,36 @@ func (c *Context) Scheduler() *serve.Scheduler {
 		})
 	}
 	return c.sched
+}
+
+// BatchRunner returns the executor sweeps fan out over (built on first
+// use): the local scheduler, or — when Peers is set — a consistent-hash
+// dispatcher fronting the remote instances with the scheduler as
+// fallback.
+func (c *Context) BatchRunner() (serve.BatchRunner, error) {
+	if c.runner != nil {
+		return c.runner, nil
+	}
+	if len(c.Peers) == 0 {
+		c.runner = c.Scheduler()
+		return c.runner, nil
+	}
+	d, err := dispatch.New(dispatch.Options{Peers: c.Peers, Local: c.Scheduler()})
+	if err != nil {
+		return nil, err
+	}
+	c.runner = d
+	return c.runner, nil
+}
+
+// DispatchStats returns the dispatcher's routing stats, or nil when sweeps
+// run purely in process.
+func (c *Context) DispatchStats() *dispatch.Stats {
+	if d, ok := c.runner.(*dispatch.Dispatcher); ok {
+		s := d.Stats()
+		return &s
+	}
+	return nil
 }
 
 // OpenStore attaches a persistent result store rooted at dir, so sweeps
@@ -180,7 +217,17 @@ func (c *Context) SimResults(cfg sim.Config) (*sim.ConfigResults, error) {
 	if r, ok := c.simResult[cfg.Name]; ok {
 		return r, nil
 	}
-	cr, err := c.Scheduler().RunAll(context.Background(), cfg, c.Corpus())
+	runner, err := c.BatchRunner()
+	if err != nil {
+		return nil, err
+	}
+	methods := c.Corpus()
+	jobs := make([]serve.Job, len(methods))
+	for i, m := range methods {
+		jobs[i] = serve.Job{Config: cfg, Method: m}
+	}
+	results := runner.RunBatchCycles(context.Background(), jobs, c.MaxMeshCycles)
+	cr, err := serve.CollectRuns(cfg, results)
 	if err != nil {
 		return nil, err
 	}

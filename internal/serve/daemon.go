@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
+	"javaflow/internal/store"
+)
+
+// DefaultDrain is the graceful-shutdown window when Daemon.Drain is zero:
+// long enough for a full in-flight batch sweep (the server's write timeout
+// allows one to run for minutes).
+const DefaultDrain = 5 * time.Minute
+
+// Daemon runs the jfserved HTTP service with ordered shutdown. On context
+// cancellation (SIGTERM) it:
+//
+//  1. closes the listener, so no new work is accepted;
+//  2. drains in-flight requests — handlers block on their scheduler or
+//     dispatch jobs, so waiting for connections waits for the jobs;
+//  3. flushes and closes the store, so every result computed by a drained
+//     job is durable before the process exits.
+//
+// Only after all three does Run return: a dispatched job that was in
+// flight when the signal arrived is never lost, and a dispatch front
+// pointing at this instance sees connection-refused (and reroutes) rather
+// than a dead TCP peer holding its jobs.
+type Daemon struct {
+	// Addr is the listen address (":8077", "127.0.0.1:0", ...).
+	Addr string
+	// Service is the registry + scheduler the HTTP API serves. Required.
+	Service *Service
+	// Store, when non-nil, is flushed and closed after the drain. The
+	// daemon owns its shutdown; callers must not Close it themselves.
+	Store *store.Store
+	// Drain bounds the in-flight drain window (0 uses DefaultDrain).
+	Drain time.Duration
+	// Logf, when non-nil, receives operator-facing progress lines
+	// (shutdown began, drain finished).
+	Logf func(format string, args ...any)
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.Logf != nil {
+		d.Logf(format, args...)
+	}
+}
+
+// Run listens on d.Addr and serves until ctx is cancelled, then performs
+// the ordered shutdown above. ready (when non-nil) is called once with the
+// bound address before serving — tests listen on ":0" and learn the port
+// from it. The returned error is the first of: listen failure, serve
+// failure, drain overrun, store-flush failure; nil on a clean shutdown.
+func (d *Daemon) Run(ctx context.Context, ready func(addr net.Addr)) error {
+	srv := NewServer(d.Addr, d.Service)
+	ln, err := net.Listen("tcp", d.Addr)
+	if err != nil {
+		return errors.Join(err, d.closeStore())
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener died on its own; nothing to drain.
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		return errors.Join(err, d.closeStore())
+	case <-ctx.Done():
+	}
+
+	drain := d.Drain
+	if drain <= 0 {
+		drain = DefaultDrain
+	}
+	d.logf("shutting down: draining in-flight requests (up to %v)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err = srv.Shutdown(shutdownCtx)
+	// Flush the store even when the drain overran: whatever jobs did
+	// complete must still reach disk.
+	return errors.Join(err, d.closeStore())
+}
+
+// closeStore flushes and closes the store, reporting the first append
+// failure of the store's lifetime. Nil store is a no-op.
+func (d *Daemon) closeStore() error {
+	if d.Store == nil {
+		return nil
+	}
+	return d.Store.Close()
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"javaflow/internal/sim"
+	"javaflow/internal/store"
+)
+
+// TestDaemonShutdownDrainsAndFlushes is the SIGTERM ordering contract: a
+// batch that is in flight when shutdown begins must complete with a full
+// response, and its results must be flushed to the store before Run
+// returns — no dispatched job is ever lost to a restart.
+func TestDaemonShutdownDrainsAndFlushes(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := hostableMethods(t, 4)
+	sched := NewScheduler(SchedulerOptions{Workers: 2, MaxMeshCycles: testMaxCycles, Store: st})
+	svc := NewService(sched, sim.Configurations(), methods)
+
+	daemon := &Daemon{
+		Addr:    "127.0.0.1:0",
+		Service: svc,
+		Store:   st,
+		Drain:   time.Minute,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- daemon.Run(ctx, func(a net.Addr) { addrCh <- a.String() })
+	}()
+	addr := <-addrCh
+
+	// Fire a sweep and wait until its jobs are actually executing.
+	body, _ := json.Marshal(BatchRequest{Configs: []string{"Compact2", "Hetero2"}})
+	respCh := make(chan *http.Response, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.Post("http://"+addr+"/v1/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			errCh <- err
+			return
+		}
+		respCh <- resp
+	}()
+	deadline := time.After(30 * time.Second)
+	for sched.Metrics().Snapshot(nil, nil).Jobs == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no job started within 30s")
+		case err := <-errCh:
+			t.Fatalf("batch request failed before shutdown: %v", err)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// SIGTERM lands mid-batch.
+	cancel()
+
+	select {
+	case resp := <-respCh:
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("in-flight batch got status %d: %s", resp.StatusCode, out)
+		}
+		var parsed BatchResponse
+		if err := json.Unmarshal(out, &parsed); err != nil {
+			t.Fatalf("in-flight batch response truncated: %v", err)
+		}
+		if len(parsed.Results) != 2 || parsed.Results[0].Summary.Methods == 0 {
+			t.Fatalf("in-flight batch response incomplete: %+v", parsed)
+		}
+	case err := <-errCh:
+		t.Fatalf("in-flight batch dropped during shutdown: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("in-flight batch never completed")
+	}
+
+	if err := <-runErr; err != nil {
+		t.Fatalf("daemon shutdown: %v", err)
+	}
+
+	// New connections are refused after Run returns.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+
+	// The drained jobs' results were flushed: a fresh store serves them.
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() == 0 {
+		t.Fatal("store is empty after shutdown: in-flight results were lost")
+	}
+	cfg := testConfig(t, "Compact2")
+	key := store.RunKeyFor(cfg, methods[0], testMaxCycles)
+	if _, ok := st2.GetRun(key); !ok {
+		t.Fatalf("run for %s not in the flushed store", methods[0].Signature())
+	}
+}
+
+// TestDaemonListenFailureClosesStore: a daemon that cannot bind must still
+// flush and close its store before returning.
+func TestDaemonListenFailureClosesStore(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := hostableMethods(t, 1)
+	sched := NewScheduler(SchedulerOptions{Workers: 1, MaxMeshCycles: testMaxCycles, Store: st})
+	svc := NewService(sched, sim.Configurations(), methods)
+
+	// Seed one record so the flush is observable.
+	if _, err := sched.RunMethod(context.Background(), testConfig(t, "Compact2"), methods[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	daemon := &Daemon{Addr: ln.Addr().String(), Service: svc, Store: st}
+	if err := daemon.Run(context.Background(), nil); err == nil {
+		t.Fatal("expected a listen error on an occupied port")
+	}
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() == 0 {
+		t.Fatal("store not flushed on listen failure")
+	}
+}

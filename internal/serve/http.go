@@ -15,6 +15,13 @@ import (
 // population stay far below this.
 const maxBodyBytes = 4 << 20
 
+// DispatchedHeader marks a /v1/run request as already routed by a
+// dispatch front. A node receiving it executes the job on its own
+// scheduler instead of re-dispatching, so a fleet where every node lists
+// the others (or itself) as peers terminates after one hop rather than
+// recursing until the inflight semaphores deadlock.
+const DispatchedHeader = "X-Javaflow-Dispatched"
+
 // RunRequest is the POST /v1/run body.
 type RunRequest struct {
 	Config string `json:"config"`
@@ -23,19 +30,48 @@ type RunRequest struct {
 	MaxMeshCycles int `json:"maxMeshCycles"`
 }
 
-// errorPayload is the JSON error envelope.
-type errorPayload struct {
-	Error string `json:"error"`
+// Error kinds carried by ErrorPayload.Kind, so machine clients (the
+// internal/dispatch HTTP backend) can classify failures without parsing
+// message text.
+const (
+	ErrKindNotFound = "not_found"
+	ErrKindRejected = "rejected"
+	ErrKindCanceled = "canceled"
+	ErrKindInternal = "internal"
+)
+
+// ErrorPayload is the JSON error envelope. For fabric rejections (Kind ==
+// ErrKindRejected) Method and Reason carry the structured *fabric.LoadError
+// fields, so a dispatch front can rehydrate the typed error a local run
+// would have produced.
+type ErrorPayload struct {
+	Error  string `json:"error"`
+	Kind   string `json:"kind,omitempty"`
+	Method string `json:"method,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Err converts the payload back into the error a local execution would
+// have returned: a *fabric.LoadError for rejections, a plain error
+// otherwise.
+func (p ErrorPayload) Err() error {
+	if p.Kind == ErrKindRejected {
+		return &fabric.LoadError{Method: p.Method, Reason: p.Reason}
+	}
+	return errors.New(p.Error)
 }
 
 // NewHandler builds the jfserved HTTP API over svc.
 //
-//	POST /v1/run      — one method on one configuration
-//	POST /v1/batch    — population sweep (methods × configs)
-//	GET  /v1/configs  — configuration registry
-//	GET  /v1/methods  — method registry
-//	GET  /metrics     — service counters + cache stats as JSON
-//	GET  /healthz     — liveness
+//	POST /v1/run            — one method on one configuration
+//	POST /v1/batch          — population sweep (methods × configs);
+//	                          ?stream=ndjson streams per-job results
+//	GET  /v1/configs        — configuration registry
+//	GET  /v1/methods        — method registry
+//	GET  /v1/store          — persistent-store admin report
+//	POST /v1/store/compact  — fold the store's segments into one
+//	GET  /metrics           — service counters + cache/store/dispatch stats
+//	GET  /healthz           — liveness
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	metrics := svc.Scheduler().Metrics()
@@ -45,7 +81,11 @@ func NewHandler(svc *Service) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		payload, err := svc.Run(r.Context(), req.Config, req.Method, req.MaxMeshCycles)
+		run := svc.Run
+		if r.Header.Get(DispatchedHeader) != "" {
+			run = svc.RunLocal
+		}
+		payload, err := run(r.Context(), req.Config, req.Method, req.MaxMeshCycles)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -56,6 +96,10 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req BatchRequest
 		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if r.URL.Query().Get("stream") == "ndjson" {
+			streamBatch(w, r, svc, req)
 			return
 		}
 		resp, err := svc.Batch(r.Context(), req)
@@ -74,8 +118,44 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusOK, svc.MethodInfos())
 	})
 
+	mux.HandleFunc("GET /v1/store", func(w http.ResponseWriter, r *http.Request) {
+		st := svc.Scheduler().Store()
+		if st == nil {
+			writeJSON(w, http.StatusNotFound, ErrorPayload{
+				Error: "serve: no persistent store attached (start with -store-dir)",
+				Kind:  ErrKindNotFound,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, st.Admin())
+	})
+
+	// Compaction is sole-writer-only (see store.Compact): in a shared
+	// -store-dir fleet, quiesce the other instances before POSTing here,
+	// or a segment another process is still appending to can be dropped
+	// beyond the bytes this process saw at startup.
+	mux.HandleFunc("POST /v1/store/compact", func(w http.ResponseWriter, r *http.Request) {
+		st := svc.Scheduler().Store()
+		if st == nil {
+			writeJSON(w, http.StatusNotFound, ErrorPayload{
+				Error: "serve: no persistent store attached (start with -store-dir)",
+				Kind:  ErrKindNotFound,
+			})
+			return
+		}
+		if err := st.Compact(); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st.Admin())
+	})
+
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Scheduler().Snapshot())
+		snap := svc.Scheduler().Snapshot()
+		if ds, ok := svc.BatchRunner().(DispatchStatser); ok {
+			snap.Dispatch = ds.DispatchStats()
+		}
+		writeJSON(w, http.StatusOK, snap)
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -83,6 +163,43 @@ func NewHandler(svc *Service) http.Handler {
 	})
 
 	return countRequests(metrics, mux)
+}
+
+// DispatchStatser is implemented by batch runners that front multiple
+// backends (internal/dispatch.Dispatcher); GET /metrics folds their stats
+// into the snapshot. The return type is any so serve does not import the
+// dispatch layer built on top of it.
+type DispatchStatser interface {
+	DispatchStats() any
+}
+
+// streamBatch serves POST /v1/batch?stream=ndjson: one StreamEvent per
+// line, flushed as each job completes, in submission order. The 200 is
+// committed lazily at the first event, so request-shape errors (unknown
+// names — the only failures that precede job execution) still get a
+// normal JSON error status, while mid-sweep failures arrive as "error"
+// events on the stream.
+func streamBatch(w http.ResponseWriter, r *http.Request, svc *Service, req BatchRequest) {
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	committed := false
+	err := svc.BatchStream(r.Context(), req, func(ev StreamEvent) error {
+		if !committed {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			committed = true
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil && !committed {
+		writeError(w, err)
+	}
 }
 
 // countRequests is the metrics middleware.
@@ -98,7 +215,10 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorPayload{Error: fmt.Sprintf("bad request body: %v", err)})
+		writeJSON(w, http.StatusBadRequest, ErrorPayload{
+			Error: fmt.Sprintf("bad request body: %v", err),
+			Kind:  ErrKindInternal,
+		})
 		return false
 	}
 	return true
@@ -106,19 +226,23 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // writeError maps service errors to HTTP statuses: unknown names are 404,
 // fabric-rejected methods 422, cancelled requests 499-style 503, anything
-// else 500.
+// else 500. The payload carries a machine-readable kind (and, for
+// rejections, the structured LoadError fields) so dispatch fronts can
+// rehydrate typed errors.
 func writeError(w http.ResponseWriter, err error) {
 	var nf *NotFoundError
 	var le *fabric.LoadError
 	switch {
 	case errors.As(err, &nf):
-		writeJSON(w, http.StatusNotFound, errorPayload{Error: nf.Error()})
+		writeJSON(w, http.StatusNotFound, ErrorPayload{Error: nf.Error(), Kind: ErrKindNotFound})
 	case errors.As(err, &le):
-		writeJSON(w, http.StatusUnprocessableEntity, errorPayload{Error: le.Error()})
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorPayload{
+			Error: le.Error(), Kind: ErrKindRejected, Method: le.Method, Reason: le.Reason,
+		})
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusServiceUnavailable, errorPayload{Error: err.Error()})
+		writeJSON(w, http.StatusServiceUnavailable, ErrorPayload{Error: err.Error(), Kind: ErrKindCanceled})
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorPayload{Error: err.Error()})
+		writeJSON(w, http.StatusInternalServerError, ErrorPayload{Error: err.Error(), Kind: ErrKindInternal})
 	}
 }
 

@@ -86,6 +86,10 @@ type MetricsSnapshot struct {
 	P95LatencyMS float64      `json:"p95LatencyMs"`
 	Cache        CacheStats   `json:"cache"`
 	Store        *store.Stats `json:"store,omitempty"`
+	// Dispatch carries the multi-node dispatcher's per-backend and ring
+	// stats when the service fronts remote peers (dispatch.Stats; typed as
+	// any because the dispatch layer builds on serve, not the reverse).
+	Dispatch any `json:"dispatch,omitempty"`
 }
 
 // Snapshot captures the current counters plus the given cache's and

@@ -48,6 +48,23 @@ type SchedulerOptions struct {
 	Store *store.Store
 }
 
+// BatchRunner is the RunBatch-shaped seam between the HTTP surface and
+// whatever executes jobs: the process-local Scheduler, or a dispatcher
+// fanning jobs across remote jfserved instances (internal/dispatch).
+// Implementations must fill one result per job in submission order and,
+// when emit is non-nil, deliver each completed result exactly once in
+// submission order as the batch progresses.
+type BatchRunner interface {
+	// RunBatchCycles executes jobs with the given per-execution mesh-cycle
+	// bound (0 = implementation default) and returns one result per job in
+	// submission order.
+	RunBatchCycles(ctx context.Context, jobs []Job, maxCycles int) []JobResult
+	// RunBatchStream is RunBatchCycles with incremental delivery: emit is
+	// called once per job, in submission order, as soon as that job and
+	// every earlier one have completed.
+	RunBatchStream(ctx context.Context, jobs []Job, maxCycles int, emit func(i int, r JobResult)) []JobResult
+}
+
 // Scheduler fans simulation jobs across a bounded goroutine pool, routing
 // every deployment through a shared DeploymentCache. Results are returned
 // in submission order regardless of completion order, so batch output is
@@ -93,6 +110,9 @@ func NewScheduler(opts SchedulerOptions) *Scheduler {
 // Cache exposes the scheduler's deployment cache.
 func (s *Scheduler) Cache() *DeploymentCache { return s.cache }
 
+// Workers returns the worker-pool bound batches fan out over.
+func (s *Scheduler) Workers() int { return s.workers }
+
 // Metrics exposes the scheduler's metrics collector.
 func (s *Scheduler) Metrics() *Metrics { return s.metrics }
 
@@ -100,19 +120,28 @@ func (s *Scheduler) Metrics() *Metrics { return s.metrics }
 // scheduler runs memory-only).
 func (s *Scheduler) Store() *store.Store { return s.store }
 
+// MaxMeshCycles returns the scheduler's default per-execution mesh-cycle
+// bound — what a job with no explicit bound runs under. Dispatch fronts
+// resolve this before fanning jobs out so every backend simulates (and
+// keys its store records by) the same bound.
+func (s *Scheduler) MaxMeshCycles() int { return s.maxMeshCycles }
+
 // Snapshot captures the metrics counters together with the cache and
 // store statistics — the GET /metrics payload.
 func (s *Scheduler) Snapshot() MetricsSnapshot {
 	return s.metrics.Snapshot(s.cache, s.store)
 }
 
-// runner builds the per-call runner routed through the cache.
-func (s *Scheduler) runner(maxCycles int) *sim.Runner {
+// runner builds the per-call runner routed through the cache. The context
+// reaches the engine's mid-run preemption check, so cancelling a batch
+// aborts even a single multimillion-cycle execution promptly.
+func (s *Scheduler) runner(ctx context.Context, maxCycles int) *sim.Runner {
 	if maxCycles <= 0 {
 		maxCycles = s.maxMeshCycles
 	}
 	return &sim.Runner{
 		MaxMeshCycles: maxCycles,
+		Ctx:           ctx,
 		Resolve: func(cfg sim.Config, m *classfile.Method) (*fabric.Resolution, error) {
 			return s.cache.ResolveMethod(cfg, m)
 		},
@@ -121,10 +150,13 @@ func (s *Scheduler) runner(maxCycles int) *sim.Runner {
 
 // RunMethod executes one job synchronously through the cache (no pool).
 func (s *Scheduler) RunMethod(ctx context.Context, cfg sim.Config, m *classfile.Method) (sim.MethodRun, error) {
-	return s.runMethodCycles(ctx, cfg, m, 0)
+	return s.RunMethodCycles(ctx, cfg, m, 0)
 }
 
-func (s *Scheduler) runMethodCycles(ctx context.Context, cfg sim.Config, m *classfile.Method, maxCycles int) (sim.MethodRun, error) {
+// RunMethodCycles is RunMethod with an explicit per-execution mesh-cycle
+// bound overriding the scheduler default (0 keeps the default). It is the
+// per-job entry point dispatch backends call directly.
+func (s *Scheduler) RunMethodCycles(ctx context.Context, cfg sim.Config, m *classfile.Method, maxCycles int) (sim.MethodRun, error) {
 	if err := ctx.Err(); err != nil {
 		return sim.MethodRun{}, err
 	}
@@ -149,7 +181,7 @@ func (s *Scheduler) runMethodCycles(ctx context.Context, cfg sim.Config, m *clas
 		}
 	}
 
-	run, err := s.runner(maxCycles).RunMethod(cfg, m)
+	run, err := s.runner(ctx, maxCycles).RunMethod(cfg, m)
 	s.metrics.JobFinished(start, err)
 	if err == nil && s.store != nil {
 		s.store.PutRun(key, run)
@@ -159,13 +191,24 @@ func (s *Scheduler) runMethodCycles(ctx context.Context, cfg sim.Config, m *clas
 
 // RunBatch executes jobs across the worker pool and returns one result per
 // job, in submission order. Cancelling ctx stops the pool: jobs already
-// executing finish (the engine's mesh-cycle bound limits how long that
-// takes), jobs not yet started report ctx.Err().
+// executing abort at the engine's next preemption check, jobs not yet
+// started report ctx.Err().
 func (s *Scheduler) RunBatch(ctx context.Context, jobs []Job) []JobResult {
-	return s.runBatchCycles(ctx, jobs, 0)
+	return s.RunBatchCycles(ctx, jobs, 0)
 }
 
-func (s *Scheduler) runBatchCycles(ctx context.Context, jobs []Job, maxCycles int) []JobResult {
+// RunBatchCycles is RunBatch with an explicit per-execution mesh-cycle
+// bound overriding the scheduler default (0 keeps the default).
+func (s *Scheduler) RunBatchCycles(ctx context.Context, jobs []Job, maxCycles int) []JobResult {
+	return s.RunBatchStream(ctx, jobs, maxCycles, nil)
+}
+
+// RunBatchStream executes jobs across the worker pool, delivering each
+// result through emit (when non-nil) in submission order as soon as it and
+// every earlier job have completed — the seam POST /v1/batch?stream=ndjson
+// flows through. The returned slice is the same submission-ordered result
+// set RunBatch produces.
+func (s *Scheduler) RunBatchStream(ctx context.Context, jobs []Job, maxCycles int, emit func(i int, r JobResult)) []JobResult {
 	results := make([]JobResult, len(jobs))
 	for i, j := range jobs {
 		results[i].Job = j
@@ -175,6 +218,9 @@ func (s *Scheduler) runBatchCycles(ctx context.Context, jobs []Job, maxCycles in
 	}
 
 	indexes := make(chan int)
+	// completed is buffered for the whole batch so neither workers nor the
+	// feeder ever block on the collector.
+	completed := make(chan int, len(jobs))
 	var wg sync.WaitGroup
 	workers := s.workers
 	if workers > len(jobs) {
@@ -185,29 +231,56 @@ func (s *Scheduler) runBatchCycles(ctx context.Context, jobs []Job, maxCycles in
 		go func() {
 			defer wg.Done()
 			for i := range indexes {
-				run, err := s.runMethodCycles(ctx, jobs[i].Config, jobs[i].Method, maxCycles)
+				run, err := s.RunMethodCycles(ctx, jobs[i].Config, jobs[i].Method, maxCycles)
 				results[i].Run = run
 				results[i].Err = err
+				completed <- i
 			}
 		}()
 	}
-feed:
-	for i := range jobs {
-		select {
-		case indexes <- i:
-		case <-ctx.Done():
-			// Indexes from i on were never handed to a worker; jobs that
-			// were already delivered stamp ctx.Err() themselves via the
-			// per-job check in runMethodCycles.
-			for k := i; k < len(jobs); k++ {
-				results[k].Err = ctx.Err()
+	go func() {
+	feed:
+		for i := range jobs {
+			select {
+			case indexes <- i:
+			case <-ctx.Done():
+				// Indexes from i on were never handed to a worker; jobs
+				// that were already delivered stamp ctx.Err() themselves
+				// via the per-job check in RunMethodCycles.
+				for k := i; k < len(jobs); k++ {
+					results[k].Err = ctx.Err()
+					completed <- k
+				}
+				break feed
 			}
-			break feed
+		}
+		close(indexes)
+		wg.Wait()
+		close(completed)
+	}()
+
+	// Collect completions and emit the contiguous prefix in order. Every
+	// index arrives exactly once: from the worker that ran it, or from the
+	// feeder for jobs cancelled before they were handed out.
+	collectOrdered(results, completed, emit)
+	return results
+}
+
+// collectOrdered drains completed indexes and, when emit is non-nil, calls
+// it for each result in submission order as soon as that result and every
+// earlier one are done. It returns once all len(results) indexes arrived.
+func collectOrdered(results []JobResult, completed <-chan int, emit func(i int, r JobResult)) {
+	done := make([]bool, len(results))
+	next := 0
+	for i := range completed {
+		done[i] = true
+		for next < len(results) && done[next] {
+			if emit != nil {
+				emit(next, results[next])
+			}
+			next++
 		}
 	}
-	close(indexes)
-	wg.Wait()
-	return results
 }
 
 // Sweep fans a full cross product (methods × configs) across the pool and
@@ -247,7 +320,7 @@ func (s *Scheduler) runAllCycles(ctx context.Context, cfg sim.Config, methods []
 	for i, m := range methods {
 		jobs[i] = Job{Config: cfg, Method: m}
 	}
-	results := s.runBatchCycles(ctx, jobs, maxCycles)
+	results := s.RunBatchCycles(ctx, jobs, maxCycles)
 	return CollectRuns(cfg, results)
 }
 

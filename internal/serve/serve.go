@@ -26,10 +26,12 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"javaflow/internal/classfile"
+	"javaflow/internal/fabric"
 	"javaflow/internal/sim"
 	"javaflow/internal/stats"
 )
@@ -50,6 +52,7 @@ func (e *NotFoundError) Error() string {
 // into the scheduler's typed jobs.
 type Service struct {
 	sched        *Scheduler
+	runner       BatchRunner
 	configs      []sim.Config
 	configByName map[string]sim.Config
 	methods      []*classfile.Method
@@ -62,6 +65,7 @@ type Service struct {
 func NewService(sched *Scheduler, configs []sim.Config, methods []*classfile.Method) *Service {
 	s := &Service{
 		sched:        sched,
+		runner:       sched,
 		configByName: make(map[string]sim.Config, len(configs)),
 		methodBySig:  make(map[string]*classfile.Method, len(methods)),
 	}
@@ -85,6 +89,20 @@ func NewService(sched *Scheduler, configs []sim.Config, methods []*classfile.Met
 
 // Scheduler exposes the underlying scheduler.
 func (s *Service) Scheduler() *Scheduler { return s.sched }
+
+// SetBatchRunner replaces the executor run and batch requests flow through.
+// The default is the service's own scheduler; a dispatch front installs an
+// internal/dispatch.Dispatcher here so the same HTTP surface shards jobs
+// across remote jfserved instances. Call before serving traffic.
+func (s *Service) SetBatchRunner(r BatchRunner) {
+	if r == nil {
+		r = s.sched
+	}
+	s.runner = r
+}
+
+// BatchRunner returns the executor requests flow through.
+func (s *Service) BatchRunner() BatchRunner { return s.runner }
 
 // Configs lists the registered configurations in registry order.
 func (s *Service) Configs() []sim.Config { return s.configs }
@@ -130,7 +148,9 @@ func payloadFor(cfgName string, run sim.MethodRun) RunPayload {
 }
 
 // Run executes one (method, config) pair; maxCycles 0 keeps the scheduler
-// default (DefaultMaxMeshCycles-derived) per-job bound.
+// default (DefaultMaxMeshCycles-derived) per-job bound. The job flows
+// through the installed batch runner, so on a dispatch front even single
+// runs land on the backend that owns the method's cache affinity.
 func (s *Service) Run(ctx context.Context, configName, signature string, maxCycles int) (RunPayload, error) {
 	cfg, err := s.Config(configName)
 	if err != nil {
@@ -140,7 +160,27 @@ func (s *Service) Run(ctx context.Context, configName, signature string, maxCycl
 	if err != nil {
 		return RunPayload{}, err
 	}
-	run, err := s.sched.runMethodCycles(ctx, cfg, m, maxCycles)
+	results := s.runner.RunBatchCycles(ctx, []Job{{Config: cfg, Method: m}}, maxCycles)
+	if err := results[0].Err; err != nil {
+		return RunPayload{}, err
+	}
+	return payloadFor(cfg.Name, results[0].Run), nil
+}
+
+// RunLocal is Run pinned to the in-process scheduler, bypassing any
+// installed dispatch runner. The HTTP layer routes requests carrying
+// DispatchedHeader here: a job another front already routed must execute
+// on this node, not ring-hop again.
+func (s *Service) RunLocal(ctx context.Context, configName, signature string, maxCycles int) (RunPayload, error) {
+	cfg, err := s.Config(configName)
+	if err != nil {
+		return RunPayload{}, err
+	}
+	m, err := s.Method(signature)
+	if err != nil {
+		return RunPayload{}, err
+	}
+	run, err := s.sched.RunMethodCycles(ctx, cfg, m, maxCycles)
 	if err != nil {
 		return RunPayload{}, err
 	}
@@ -182,23 +222,42 @@ type BatchResponse struct {
 	Results []BatchConfigResult `json:"results"`
 }
 
-// Batch executes a population sweep through the worker pool. Results are
-// deterministic: per-configuration groups in request order, runs in method
-// order, identical to running sim.Runner.RunAll per configuration.
-func (s *Service) Batch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+// sweepJobs resolves a batch request into the flat submission-ordered job
+// list (config-major, methods in registry order) shared by the buffered
+// and streaming batch paths.
+func (s *Service) sweepJobs(req BatchRequest) ([]sim.Config, []*classfile.Method, []Job, error) {
 	configs, err := s.pickConfigs(req.Configs)
 	if err != nil {
-		return BatchResponse{}, err
+		return nil, nil, nil, err
 	}
 	methods, err := s.pickMethods(req.Methods)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	jobs := make([]Job, 0, len(configs)*len(methods))
+	for _, cfg := range configs {
+		for _, m := range methods {
+			jobs = append(jobs, Job{Config: cfg, Method: m})
+		}
+	}
+	return configs, methods, jobs, nil
+}
+
+// Batch executes a population sweep through the installed batch runner.
+// Results are deterministic: per-configuration groups in request order,
+// runs in method order, identical to running sim.Runner.RunAll per
+// configuration — whether the jobs ran locally or were dispatched across
+// remote backends.
+func (s *Service) Batch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	configs, methods, jobs, err := s.sweepJobs(req)
 	if err != nil {
 		return BatchResponse{}, err
 	}
 
-	groups := s.sched.Sweep(ctx, configs, methods)
+	flat := s.runner.RunBatchCycles(ctx, jobs, req.MaxMeshCycles)
 	resp := BatchResponse{Results: make([]BatchConfigResult, 0, len(configs))}
 	for i, cfg := range configs {
-		cr, err := CollectRuns(cfg, groups[i])
+		cr, err := CollectRuns(cfg, flat[i*len(methods):(i+1)*len(methods)])
 		if err != nil {
 			return BatchResponse{}, err
 		}
@@ -218,6 +277,92 @@ func (s *Service) Batch(ctx context.Context, req BatchRequest) (BatchResponse, e
 		resp.Results = append(resp.Results, out)
 	}
 	return resp, nil
+}
+
+// StreamEvent is one NDJSON line of POST /v1/batch?stream=ndjson. Events
+// arrive in submission order: for each requested configuration, one "run",
+// "skip" or "timeout" event per method in registry order, then that
+// configuration's "summary". A job that fails for any other reason (e.g.
+// the batch's context is cancelled) produces an "error" event; the stream
+// continues so later configurations still flow.
+type StreamEvent struct {
+	Type      string         `json:"type"` // run | skip | timeout | error | summary
+	Config    string         `json:"config,omitempty"`
+	Signature string         `json:"signature,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	Run       *RunPayload    `json:"run,omitempty"`
+	Summary   *ConfigSummary `json:"summary,omitempty"`
+}
+
+// BatchStream executes the same sweep as Batch but delivers per-job events
+// through emit as jobs complete, in submission order, instead of buffering
+// the full response. The "run" payloads and per-configuration summaries
+// are identical to the buffered Batch response for the same request —
+// streaming changes delivery, never content. An emit error (a client that
+// went away) aborts the stream.
+func (s *Service) BatchStream(ctx context.Context, req BatchRequest, emit func(StreamEvent) error) error {
+	configs, methods, jobs, err := s.sweepJobs(req)
+	if err != nil {
+		return err
+	}
+	if len(methods) == 0 {
+		return nil
+	}
+
+	var (
+		emitErr  error
+		cfgRuns  []sim.MethodRun
+		skipped  int
+		timedOut int
+	)
+	ctx, cancelJobs := context.WithCancel(ctx)
+	defer cancelJobs()
+	s.runner.RunBatchStream(ctx, jobs, req.MaxMeshCycles, func(i int, r JobResult) {
+		if emitErr != nil {
+			return
+		}
+		cfg := configs[i/len(methods)]
+		ev := StreamEvent{Config: cfg.Name, Signature: r.Job.Method.Signature()}
+		var le *fabric.LoadError
+		switch {
+		case errors.As(r.Err, &le):
+			ev.Type = "skip"
+			ev.Error = le.Error()
+			skipped++
+		case r.Err != nil:
+			ev.Type = "error"
+			ev.Error = r.Err.Error()
+		case r.Run.BP1.TimedOut || r.Run.BP2.TimedOut:
+			ev.Type = "timeout"
+			timedOut++
+		default:
+			ev.Type = "run"
+			payload := payloadFor(cfg.Name, r.Run)
+			ev.Run = &payload
+			cfgRuns = append(cfgRuns, r.Run)
+		}
+		if emitErr = emit(ev); emitErr != nil {
+			// The client is gone: stop feeding the pool instead of
+			// simulating the rest of the sweep for nobody.
+			cancelJobs()
+			return
+		}
+		if (i+1)%len(methods) == 0 {
+			cr := &sim.ConfigResults{Config: cfg, Runs: cfgRuns, Skipped: skipped, TimedOut: timedOut}
+			summary := ConfigSummary{
+				Config:   cfg.Name,
+				Methods:  len(cr.Runs),
+				Skipped:  cr.Skipped,
+				TimedOut: cr.TimedOut,
+				IPC:      cr.IPCSummary(),
+			}
+			if emitErr = emit(StreamEvent{Type: "summary", Config: cfg.Name, Summary: &summary}); emitErr != nil {
+				cancelJobs()
+			}
+			cfgRuns, skipped, timedOut = nil, 0, 0
+		}
+	})
+	return emitErr
 }
 
 // pickConfigs resolves names to configurations (empty = all).

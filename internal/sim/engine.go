@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -12,6 +13,13 @@ import (
 // are reported as timed out and filtered from results, as the dissertation
 // filtered endless-loop cases (Section 7.3, Simulation Structure).
 const DefaultMaxMeshCycles = 2_000_000
+
+// preemptEvery is how often (in mesh cycles) a preemptible engine polls its
+// context. A power of two so the check is a mask, not a division; at ~4096
+// cycles the poll adds one atomic load per few hundred thousand token moves,
+// while a cancelled 2M-cycle method aborts within a fraction of a percent of
+// its full budget instead of running to completion.
+const preemptEvery = 4096
 
 // tokenKind identifies a member of the token bundle (Figure 23).
 type tokenKind uint8
@@ -146,6 +154,11 @@ type Engine struct {
 	quiesceAt  int
 	quiesceFor int
 
+	// preemptCtx, when non-nil, is polled every preemptEvery mesh cycles
+	// so a long-running execution aborts mid-run on cancellation instead
+	// of only between jobs.
+	preemptCtx context.Context
+
 	// foldTransfers enables the Section 6.4 folding enhancement upper
 	// bound: pure data-transfer nodes (register reads and stack moves)
 	// "declare themselves void" — they fire in zero execution cycles and
@@ -181,6 +194,11 @@ func (e *Engine) ScheduleQuiesce(atCycle, duration int) {
 
 // EnableFolding turns on the Section 6.4 folding-enhancement model.
 func (e *Engine) EnableFolding() { e.foldTransfers = true }
+
+// SetPreempt arranges for Run to poll ctx every preemptEvery mesh cycles
+// and return ctx.Err() mid-execution once it is cancelled. A nil ctx (the
+// default) disables the check entirely.
+func (e *Engine) SetPreempt(ctx context.Context) { e.preemptCtx = ctx }
 
 // foldable reports whether instruction i is a pure data transfer the
 // folding enhancement eliminates.
@@ -254,6 +272,11 @@ func (e *Engine) Run() (Result, error) {
 	e.serialQ = append(e.serialQ, serialMsg{token{kind: tokTail}, 0, delay})
 
 	for cycle := 0; ; cycle++ {
+		if e.preemptCtx != nil && cycle&(preemptEvery-1) == 0 {
+			if err := e.preemptCtx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		if cycle >= e.maxCycles {
 			res.MeshCycles = cycle
 			res.Fired = e.fired

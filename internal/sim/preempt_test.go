@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"javaflow/internal/bytecode"
+	"javaflow/internal/classfile"
+)
+
+// loopyMethod builds nested 10-iteration loops, depth levels deep — the
+// same shape TestEndlessLoopTimesOut uses, generalized so a deep nest can
+// stand in for a multimillion-cycle execution.
+func loopyMethod(t *testing.T, depth int) *classfile.Method {
+	t.Helper()
+	return buildTestMethod(t, depth+1, func(a *bytecode.Assembler) {
+		for d := 1; d <= depth; d++ {
+			a.PushInt(0).IStore(d).Label(labelFor(d))
+		}
+		for d := depth; d >= 1; d-- {
+			a.Iinc(d, 1).ILoad(0).Branch(bytecode.Ifne, labelFor(d))
+		}
+		a.Op(bytecode.Return)
+	})
+}
+
+func labelFor(d int) string { return "l" + string(rune('0'+d)) }
+
+// A cancelled context must abort the engine mid-execution: with a huge
+// mesh-cycle budget the run returns ctx.Err() promptly instead of grinding
+// to the timeout bound or to completion.
+func TestEnginePreemptsCancelledContext(t *testing.T) {
+	m := loopyMethod(t, 3)
+	cfg := configByName(t, "Baseline")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	runner := &Runner{MaxMeshCycles: 50_000_000, Ctx: ctx}
+	if _, err := runner.RunMethod(cfg, m); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// Without a context the same budget still completes normally.
+	plain := &Runner{MaxMeshCycles: 50_000_000}
+	run, err := plain.RunMethod(cfg, m)
+	if err != nil {
+		t.Fatalf("uncancelled run: %v", err)
+	}
+	if run.BP1.TimedOut || run.BP1.Fired == 0 {
+		t.Fatalf("uncancelled run did not complete: %+v", run.BP1)
+	}
+}
+
+// Cancellation that lands while the engine is deep inside a long execution
+// must cut it off within preemptEvery cycles, not at the mesh-cycle bound.
+// The five-deep loop nest would run far past the deadline if the engine
+// only checked between jobs.
+func TestEnginePreemptsMidRun(t *testing.T) {
+	m := loopyMethod(t, 5)
+	cfg := configByName(t, "Baseline")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	runner := &Runner{MaxMeshCycles: 2_000_000_000, Ctx: ctx}
+	_, err := runner.RunMethod(cfg, m)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v (after %v), want context.DeadlineExceeded", err, elapsed)
+	}
+	// Generous bound: the point is "milliseconds after cancellation", not
+	// "after two billion simulated cycles".
+	if elapsed > 10*time.Second {
+		t.Fatalf("preemption took %v, expected prompt abort", elapsed)
+	}
+}

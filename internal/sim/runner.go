@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"javaflow/internal/classfile"
@@ -30,6 +31,10 @@ type Runner struct {
 	// scratch on every call; a deployment cache plugs in here to amortize
 	// repeated runs of the same method on the same configuration.
 	Resolve func(cfg Config, m *classfile.Method) (*fabric.Resolution, error)
+	// Ctx, when non-nil, is polled by the engine every few thousand mesh
+	// cycles so a single multimillion-cycle execution aborts mid-run on
+	// cancellation (returning ctx.Err()) rather than only between jobs.
+	Ctx context.Context
 }
 
 // resolve runs the configured deploy pipeline.
@@ -73,6 +78,9 @@ func (r *Runner) RunResolved(cfg Config, res *fabric.Resolution) (MethodRun, err
 		eng := NewEngine(cfg, res, policy)
 		if r.MaxMeshCycles > 0 {
 			eng.SetMaxCycles(r.MaxMeshCycles)
+		}
+		if r.Ctx != nil {
+			eng.SetPreempt(r.Ctx)
 		}
 		result, err := eng.Run()
 		if err != nil {

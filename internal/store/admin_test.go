@@ -1,0 +1,96 @@
+package store
+
+import (
+	"testing"
+
+	"javaflow/internal/fabric"
+	"javaflow/internal/sim"
+)
+
+func adminRunKey(sig, geom string, h uint64) RunKey {
+	return RunKey{
+		DeployKey:     DeployKey{Signature: sig, MethodHash: h, Geometry: geom},
+		SerialPerMesh: 2,
+		MaxMeshCycles: 1000,
+	}
+}
+
+func TestAdminReport(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	run := sim.MethodRun{Signature: "a/B.c/1", BP1: sim.Result{Fired: 3}, BP2: sim.Result{Fired: 4}}
+	st.PutRun(adminRunKey("a/B.c/1", "w10:UB", 1), run)
+	st.PutRun(adminRunKey("a/B.c/2", "w10:UB", 2), run)
+	st.PutRun(adminRunKey("a/B.c/3", "w4:U", 3), run)
+	st.PutDeploy(DeployKey{Signature: "a/B.c/4", MethodHash: 4, Geometry: "w4:U"},
+		nil, &fabric.LoadError{Method: "a/B.c/4", Reason: "switch"})
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := st.Admin()
+	if rep.Records != 4 {
+		t.Fatalf("records = %d, want 4", rep.Records)
+	}
+	if rep.Segments == 0 || rep.DiskBytes == 0 || rep.LiveBytes == 0 {
+		t.Fatalf("empty footprint: %+v", rep)
+	}
+	if len(rep.Geometries) != 2 {
+		t.Fatalf("geometries = %+v, want 2 entries", rep.Geometries)
+	}
+	// Sorted by geometry key: "w10:UB" < "w4:U".
+	if g := rep.Geometries[0]; g.Geometry != "w10:UB" || g.Runs != 2 || g.Deploys != 0 {
+		t.Fatalf("w10:UB breakdown = %+v", g)
+	}
+	if g := rep.Geometries[1]; g.Geometry != "w4:U" || g.Runs != 1 || g.Deploys != 1 {
+		t.Fatalf("w4:U breakdown = %+v", g)
+	}
+	if rep.GarbageRatio > 0.01 {
+		t.Fatalf("fresh store reports %.2f garbage", rep.GarbageRatio)
+	}
+}
+
+func TestAdminGarbageRatioAndCompact(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	run := sim.MethodRun{Signature: "a/B.c/1", BP1: sim.Result{Fired: 1}}
+	key := adminRunKey("a/B.c/1", "w10:UB", 1)
+	// The same key rewritten many times: all but the last record are
+	// garbage on disk.
+	for i := 0; i < 50; i++ {
+		st.PutRun(key, run)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := st.Admin()
+	if rep.Records != 1 {
+		t.Fatalf("records = %d, want 1 live", rep.Records)
+	}
+	if rep.GarbageRatio < 0.9 {
+		t.Fatalf("garbage ratio %.2f after 49 superseded rewrites, want > 0.9", rep.GarbageRatio)
+	}
+
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	rep = st.Admin()
+	if rep.GarbageRatio > 0.01 {
+		t.Fatalf("garbage ratio %.2f after compaction", rep.GarbageRatio)
+	}
+	if rep.Compactions != 1 {
+		t.Fatalf("compactions = %d, want 1", rep.Compactions)
+	}
+	if rep.Records != 1 {
+		t.Fatalf("compaction lost records: %+v", rep)
+	}
+}
