@@ -314,6 +314,72 @@ func BenchmarkStoreSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineRun pits the event-driven engine core against the
+// reference clock-by-clock loop on the slowest named workload method (by
+// simulated mesh cycles on the tightest serial budget). Both sub-benches
+// execute the identical resolved deployment cold; the differential tests
+// prove the results byte-identical, so the delta is pure loop mechanics.
+// CI guards the event core at ≥5x fewer ns/op and allocs/op.
+func BenchmarkEngineRun(b *testing.B) {
+	cfg := benchConfig(b, "Compact2")
+	const maxCycles = 400_000
+
+	var slowRes *fabric.Resolution
+	slowCycles := 0
+	slowSig := ""
+	for _, m := range workload.NamedMethods() {
+		res, err := sim.DeployMethod(cfg, m)
+		if err != nil {
+			continue
+		}
+		eng := sim.NewEngine(cfg, res, sim.BP1)
+		eng.SetMaxCycles(maxCycles)
+		r, err := eng.Run()
+		if err != nil || r.TimedOut {
+			continue
+		}
+		if r.MeshCycles > slowCycles {
+			slowCycles, slowRes, slowSig = r.MeshCycles, res, m.Signature()
+		}
+	}
+	if slowRes == nil {
+		b.Fatal("no runnable named method")
+	}
+	b.Logf("slowest method: %s (%d mesh cycles on %s)", slowSig, slowCycles, cfg.Name)
+
+	b.Run("event", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := sim.NewEngine(cfg, slowRes, sim.BP1)
+			eng.SetMaxCycles(maxCycles)
+			if _, err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := sim.NewEngine(cfg, slowRes, sim.BP1)
+			eng.SetMaxCycles(maxCycles)
+			if _, err := eng.RunReference(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchConfig(b *testing.B, name string) sim.Config {
+	b.Helper()
+	for _, cfg := range sim.Configurations() {
+		if cfg.Name == name {
+			return cfg
+		}
+	}
+	b.Fatalf("no config %s", name)
+	return sim.Config{}
+}
+
 // BenchmarkDeployPipeline isolates the work the cache saves: the verify +
 // load + resolve pipeline alone, cold versus cached.
 func BenchmarkDeployPipeline(b *testing.B) {

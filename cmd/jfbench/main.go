@@ -22,11 +22,14 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"javaflow/internal/experiments"
+	"javaflow/internal/sim"
 )
 
 func main() {
+	start := time.Now()
 	var (
 		all       = flag.Bool("all", false, "regenerate every table (1-28)")
 		table     = flag.String("table", "", "comma-separated table numbers to regenerate")
@@ -80,6 +83,7 @@ func main() {
 		if !*all && *table == "" {
 			reportStore(ctx)
 			reportDispatch(ctx)
+			reportEngine(start)
 			if err := ctx.Close(); err != nil {
 				fail(1, "jfbench: closing store: %v\n", err)
 			}
@@ -117,10 +121,34 @@ func main() {
 
 	reportStore(ctx)
 	reportDispatch(ctx)
+	reportEngine(start)
 	if err := ctx.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "jfbench: closing store: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// reportEngine prints the event-driven engine core's throughput for the
+// whole invocation: simulated mesh cycles per wall second, events
+// processed, and how much simulated time was fast-forwarded. Silent when
+// every result came from the store or remote peers (no local engine runs).
+func reportEngine(start time.Time) {
+	t := sim.TotalEngineStats()
+	if t.Runs == 0 {
+		return
+	}
+	secs := time.Since(start).Seconds()
+	var rate float64
+	if secs > 0 {
+		rate = float64(t.SimulatedMeshCycles) / secs
+	}
+	skipped := 0.0
+	if t.SimulatedMeshCycles > 0 {
+		skipped = 100 * float64(t.CyclesSkipped) / float64(t.SimulatedMeshCycles)
+	}
+	fmt.Fprintf(os.Stderr,
+		"jfbench: engine — %d runs, %d simulated mesh cycles (%.1fM cycles/s), %d events, %.1f%% of cycles skipped\n",
+		t.Runs, t.SimulatedMeshCycles, rate/1e6, t.Events, skipped)
 }
 
 // reportDispatch prints the per-backend job split of a -peers run, so a

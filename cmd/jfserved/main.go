@@ -11,6 +11,7 @@
 //	jfserved -addr :9000 -workers 8 -cache 4096
 //	jfserved -gen 400              # smaller generated population (faster boot)
 //	jfserved -store-dir ./results  # persist results across restarts
+//	jfserved -store-dir ./results -compact-threshold 0.5   # auto-compact (sole writer)
 //	jfserved -peers http://10.0.0.7:8077,http://10.0.0.8:8077
 //
 // Endpoints:
@@ -56,6 +57,8 @@ func main() {
 		stDir    = flag.String("store-dir", "", "directory for the persistent result store (empty = memory-only)")
 		peers    = flag.String("peers", "", "comma-separated base URLs of backend jfserved instances to dispatch batches across")
 		inflight = flag.Int("peer-inflight", 0, "max concurrent jobs per dispatch backend (0 = default)")
+		compact  = flag.Float64("compact-threshold", 0, "auto-compact the store when its garbage ratio reaches this fraction (0 = disabled; sole-writer stores only)")
+		compactI = flag.Duration("compact-interval", serve.DefaultCompactEvery, "how often the auto-compactor checks the garbage ratio")
 	)
 	flag.Parse()
 
@@ -105,10 +108,12 @@ func main() {
 	}
 
 	daemon := &serve.Daemon{
-		Addr:    *addr,
-		Service: svc,
-		Store:   st,
-		Drain:   *drain,
+		Addr:             *addr,
+		Service:          svc,
+		Store:            st,
+		Drain:            *drain,
+		CompactThreshold: *compact,
+		CompactEvery:     *compactI,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("jfserved: "+format+"\n", args...)
 		},

@@ -229,6 +229,19 @@ func (f *flakyBackend) Run(ctx context.Context, job serve.Job, maxCycles int) (s
 	return f.inner.Run(ctx, job, maxCycles)
 }
 
+// partitionCorpus is the method pool partitionByOwner draws from: the
+// named corpus plus a generated tranche, so each backend owns enough
+// signatures no matter how the ring hashes its (ephemeral-port) names.
+func partitionCorpus() []*classfile.Method {
+	methods := workload.NamedMethods()
+	for _, c := range workload.Generate(workload.GenConfig{Seed: 11, Count: 40}) {
+		for _, m := range c.Methods {
+			methods = append(methods, m)
+		}
+	}
+	return methods
+}
+
 // partitionByOwner picks methods until each of the dispatcher's two
 // backends owns at least want signatures, returning the combined set —
 // so tests that kill one backend know it had jobs before and after the
@@ -237,7 +250,7 @@ func partitionByOwner(t *testing.T, d *Dispatcher, want int) []*classfile.Method
 	t.Helper()
 	counts := make([]int, 2)
 	var out []*classfile.Method
-	for _, m := range workload.NamedMethods() {
+	for _, m := range partitionCorpus() {
 		owner := d.ring.owner(m.Signature(), nil)
 		if counts[owner] >= want {
 			continue
@@ -256,7 +269,7 @@ func partitionByOwner(t *testing.T, d *Dispatcher, want int) []*classfile.Method
 // sweep: jobs routed to it afterwards must be retried on the surviving
 // node and the merged results must still match the local path.
 func TestDispatchBackendDiesMidBatch(t *testing.T) {
-	corpus := workload.NamedMethods()
+	corpus := partitionCorpus()
 	ts1, _ := newPeer(t, corpus)
 	ts2, _ := newPeer(t, corpus)
 	// The flaky backend serves its first job, then dies.

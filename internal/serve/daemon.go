@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"javaflow/internal/store"
@@ -14,6 +15,10 @@ import (
 // long enough for a full in-flight batch sweep (the server's write timeout
 // allows one to run for minutes).
 const DefaultDrain = 5 * time.Minute
+
+// DefaultCompactEvery is how often the background compactor re-checks the
+// store's garbage ratio when Daemon.CompactEvery is zero.
+const DefaultCompactEvery = 30 * time.Second
 
 // Daemon runs the jfserved HTTP service with ordered shutdown. On context
 // cancellation (SIGTERM) it:
@@ -38,8 +43,19 @@ type Daemon struct {
 	Store *store.Store
 	// Drain bounds the in-flight drain window (0 uses DefaultDrain).
 	Drain time.Duration
+	// CompactThreshold, when > 0, enables the background compactor: every
+	// CompactEvery the store's garbage ratio (superseded duplicates and
+	// torn tails as a fraction of segment bytes) is checked, and a
+	// store.Compact runs once it reaches the threshold. Only enable on a
+	// sole-writer store: Compact in a directory shared with other live
+	// writers can reclaim a segment another process is still appending to
+	// (see store.Compact).
+	CompactThreshold float64
+	// CompactEvery is the compactor's check interval (0 uses
+	// DefaultCompactEvery).
+	CompactEvery time.Duration
 	// Logf, when non-nil, receives operator-facing progress lines
-	// (shutdown began, drain finished).
+	// (shutdown began, drain finished, compactions).
 	Logf func(format string, args ...any)
 }
 
@@ -56,8 +72,10 @@ func (d *Daemon) logf(format string, args ...any) {
 // failure, drain overrun, store-flush failure; nil on a clean shutdown.
 func (d *Daemon) Run(ctx context.Context, ready func(addr net.Addr)) error {
 	srv := NewServer(d.Addr, d.Service)
+	stopCompactor := d.startCompactor()
 	ln, err := net.Listen("tcp", d.Addr)
 	if err != nil {
+		stopCompactor()
 		return errors.Join(err, d.closeStore())
 	}
 	if ready != nil {
@@ -73,6 +91,7 @@ func (d *Daemon) Run(ctx context.Context, ready func(addr net.Addr)) error {
 		if errors.Is(err, http.ErrServerClosed) {
 			err = nil
 		}
+		stopCompactor()
 		return errors.Join(err, d.closeStore())
 	case <-ctx.Done():
 	}
@@ -85,9 +104,65 @@ func (d *Daemon) Run(ctx context.Context, ready func(addr net.Addr)) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err = srv.Shutdown(shutdownCtx)
+	// The compactor must be idle before the store closes.
+	stopCompactor()
 	// Flush the store even when the drain overran: whatever jobs did
 	// complete must still reach disk.
 	return errors.Join(err, d.closeStore())
+}
+
+// startCompactor launches the background compaction loop when configured,
+// returning a function that stops it and waits for any in-flight Compact.
+// The returned stop is idempotent and safe to call when the compactor
+// never started.
+func (d *Daemon) startCompactor() func() {
+	if d.Store == nil || d.CompactThreshold <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d.compactLoop(stop)
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// compactLoop periodically compacts the store once its garbage ratio
+// passes the threshold — the ROADMAP's background compaction trigger.
+func (d *Daemon) compactLoop(stop <-chan struct{}) {
+	every := d.CompactEvery
+	if every <= 0 {
+		every = DefaultCompactEvery
+	}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		rep := d.Store.Admin()
+		if rep.GarbageRatio < d.CompactThreshold {
+			continue
+		}
+		if err := d.Store.Compact(); err != nil {
+			d.logf("auto-compact: %v", err)
+			continue
+		}
+		after := d.Store.Admin()
+		d.logf("auto-compact: garbage %.0f%% >= %.0f%% — %d segments / %d bytes -> %d segments / %d bytes",
+			100*rep.GarbageRatio, 100*d.CompactThreshold,
+			rep.Segments, rep.DiskBytes, after.Segments, after.DiskBytes)
+	}
 }
 
 // closeStore flushes and closes the store, reporting the first append

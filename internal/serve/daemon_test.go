@@ -115,6 +115,89 @@ func TestDaemonShutdownDrainsAndFlushes(t *testing.T) {
 	}
 }
 
+// TestDaemonAutoCompacts: a store whose segments are mostly superseded
+// duplicates must be compacted by the background trigger once the garbage
+// ratio passes the threshold — and the surviving records must still be
+// readable afterwards.
+func TestDaemonAutoCompacts(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := hostableMethods(t, 1)
+	cfg := testConfig(t, "Compact2")
+	key := store.RunKeyFor(cfg, methods[0], testMaxCycles)
+
+	// Garbage-heavy store: the same key rewritten many times leaves one
+	// live record atop dozens of superseded ones.
+	run := sim.MethodRun{Signature: methods[0].Signature()}
+	for i := 0; i < 60; i++ {
+		run.BP1.Fired = i // vary the payload; only the last survives
+		st.PutRun(key, run)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := st.Admin()
+	if before.GarbageRatio < 0.5 {
+		t.Fatalf("setup produced garbage ratio %.2f, want >= 0.5", before.GarbageRatio)
+	}
+
+	sched := NewScheduler(SchedulerOptions{Workers: 1, MaxMeshCycles: testMaxCycles, Store: st})
+	daemon := &Daemon{
+		Addr:             "127.0.0.1:0",
+		Service:          NewService(sched, sim.Configurations(), methods),
+		Store:            st,
+		Drain:            time.Minute,
+		CompactThreshold: 0.5,
+		CompactEvery:     5 * time.Millisecond,
+		Logf:             t.Logf,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	addrCh := make(chan string, 1)
+	go func() {
+		runErr <- daemon.Run(ctx, func(a net.Addr) { addrCh <- a.String() })
+	}()
+	<-addrCh
+
+	deadline := time.After(30 * time.Second)
+	for st.Stats().Compactions == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("compactor never fired within 30s")
+		case err := <-runErr:
+			t.Fatalf("daemon exited early: %v", err)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("daemon shutdown: %v", err)
+	}
+
+	// The compacted store dropped the duplicates and kept the live record.
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	after := st2.Admin()
+	if after.GarbageRatio >= before.GarbageRatio {
+		t.Fatalf("garbage ratio did not improve: %.2f -> %.2f", before.GarbageRatio, after.GarbageRatio)
+	}
+	got, ok := st2.GetRun(key)
+	if !ok {
+		t.Fatal("live record lost by compaction")
+	}
+	if got.BP1.Fired != 59 {
+		t.Fatalf("compaction kept stale payload: fired=%d, want 59", got.BP1.Fired)
+	}
+}
+
 // TestDaemonListenFailureClosesStore: a daemon that cannot bind must still
 // flush and close its store before returning.
 func TestDaemonListenFailureClosesStore(t *testing.T) {

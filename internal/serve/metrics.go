@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"javaflow/internal/sim"
 	"javaflow/internal/store"
 )
 
@@ -22,6 +23,8 @@ type Metrics struct {
 	jobErrors atomic.Int64 // jobs that returned an error (incl. skips)
 	inFlight  atomic.Int64 // jobs currently executing
 
+	start time.Time // rate base for the engine throughput gauges
+
 	mu      sync.Mutex
 	samples []time.Duration // ring buffer of recent job latencies
 	next    int
@@ -30,7 +33,7 @@ type Metrics struct {
 
 // NewMetrics returns an empty metrics collector.
 func NewMetrics() *Metrics {
-	return &Metrics{samples: make([]time.Duration, latencyWindow)}
+	return &Metrics{samples: make([]time.Duration, latencyWindow), start: time.Now()}
 }
 
 // RecordRequest counts one HTTP request.
@@ -75,17 +78,29 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[idx]
 }
 
+// EngineThroughput is the engine-core gauge block of /metrics: the
+// process-wide totals of the event-driven simulation core plus derived
+// rates over the service's uptime. CyclesSkipped over SimulatedMeshCycles
+// is the fraction of simulated time the core fast-forwarded instead of
+// ticking.
+type EngineThroughput struct {
+	sim.EngineTotals
+	MeshCyclesPerSec float64 `json:"meshCyclesPerSec"`
+	EventsPerSec     float64 `json:"eventsPerSec"`
+}
+
 // MetricsSnapshot is the JSON shape of GET /metrics. Store is nil when the
 // service runs memory-only (no -store-dir).
 type MetricsSnapshot struct {
-	Requests     int64        `json:"requests"`
-	Jobs         int64        `json:"jobs"`
-	JobErrors    int64        `json:"jobErrors"`
-	InFlight     int64        `json:"inFlight"`
-	P50LatencyMS float64      `json:"p50LatencyMs"`
-	P95LatencyMS float64      `json:"p95LatencyMs"`
-	Cache        CacheStats   `json:"cache"`
-	Store        *store.Stats `json:"store,omitempty"`
+	Requests     int64            `json:"requests"`
+	Jobs         int64            `json:"jobs"`
+	JobErrors    int64            `json:"jobErrors"`
+	InFlight     int64            `json:"inFlight"`
+	P50LatencyMS float64          `json:"p50LatencyMs"`
+	P95LatencyMS float64          `json:"p95LatencyMs"`
+	Cache        CacheStats       `json:"cache"`
+	Engine       EngineThroughput `json:"engine"`
+	Store        *store.Stats     `json:"store,omitempty"`
 	// Dispatch carries the multi-node dispatcher's per-backend and ring
 	// stats when the service fronts remote peers (dispatch.Stats; typed as
 	// any because the dispatch layer builds on serve, not the reverse).
@@ -112,6 +127,7 @@ func (m *Metrics) Snapshot(cache *DeploymentCache, st *store.Store) MetricsSnaps
 		InFlight:     m.inFlight.Load(),
 		P50LatencyMS: float64(percentile(sorted, 0.50)) / float64(time.Millisecond),
 		P95LatencyMS: float64(percentile(sorted, 0.95)) / float64(time.Millisecond),
+		Engine:       m.engineThroughput(),
 	}
 	if cache != nil {
 		snap.Cache = cache.Stats()
@@ -121,4 +137,15 @@ func (m *Metrics) Snapshot(cache *DeploymentCache, st *store.Store) MetricsSnaps
 		snap.Store = &stats
 	}
 	return snap
+}
+
+// engineThroughput derives the engine gauges from the process-wide sim
+// totals and this collector's uptime.
+func (m *Metrics) engineThroughput() EngineThroughput {
+	et := EngineThroughput{EngineTotals: sim.TotalEngineStats()}
+	if secs := time.Since(m.start).Seconds(); secs > 0 {
+		et.MeshCyclesPerSec = float64(et.SimulatedMeshCycles) / secs
+		et.EventsPerSec = float64(et.Events) / secs
+	}
+	return et
 }

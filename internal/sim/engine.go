@@ -3,9 +3,12 @@ package sim
 import (
 	"context"
 	"fmt"
-	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"javaflow/internal/bytecode"
+	"javaflow/internal/classfile"
 	"javaflow/internal/fabric"
 )
 
@@ -18,7 +21,9 @@ const DefaultMaxMeshCycles = 2_000_000
 // context. A power of two so the check is a mask, not a division; at ~4096
 // cycles the poll adds one atomic load per few hundred thousand token moves,
 // while a cancelled 2M-cycle method aborts within a fraction of a percent of
-// its full budget instead of running to completion.
+// its full budget instead of running to completion. The event-driven loop
+// honors the same contract — it polls whenever a cycle jump crosses a
+// preemptEvery boundary — so cancellation latency is unchanged.
 const preemptEvery = 4096
 
 // tokenKind identifies a member of the token bundle (Figure 23).
@@ -54,13 +59,107 @@ type token struct {
 type serialMsg struct {
 	tok   token
 	to    int // destination instruction index
-	delay int // serial clocks remaining
+	delay int // serial clocks remaining (reference loop only)
 }
 
 // meshMsg is a producer→consumer operand transfer.
 type meshMsg struct {
 	to    int // consumer instruction index
-	delay int // mesh cycles remaining
+	delay int // mesh cycles remaining (reference loop only)
+}
+
+// completion is a scheduled execution/service phase end for the event loop;
+// gen invalidates completions of nodes reset by a backward bundle
+// transport before their phase finished.
+type completion struct {
+	node int
+	gen  uint32
+}
+
+// nodeMeta caches the per-instruction properties the token rules consult
+// on every arrival — group, branch target, local register, stack effects,
+// classification flags — decoded once at engine construction so the hot
+// loops never re-copy a full bytecode.Instruction or re-run its map
+// lookups.
+type nodeMeta struct {
+	target   int32 // branch target (bytecode.NoTarget when none)
+	localReg int32 // local register accessed, -1 when not a local op
+	pop      int32
+	push     int32
+	group    bytecode.Group
+	flags    uint8
+}
+
+const (
+	metaControl        uint8 = 1 << iota // buffers the bundle until it fires
+	metaOrderedStorage                   // participates in MEMORY_TOKEN ordering
+	metaBranch                           // may transfer control to target
+	metaReturn                           // ends the method
+	metaAlwaysTaken                      // unconditional goto
+	metaFoldKind                         // group the folding enhancement eliminates
+)
+
+// metaCache memoizes decodeMeta per method: the table is an immutable pure
+// function of the code, engines only read it, and one deployment backs
+// many runs (two branch policies per MethodRun, repeated sweeps through
+// the deployment cache). Crudely bounded: past metaCacheMax entries the
+// cache resets rather than tracking recency — rebuilds are cheap.
+var (
+	metaCache    sync.Map // *classfile.Method -> []nodeMeta
+	metaCacheLen atomic.Int64
+)
+
+const metaCacheMax = 8192
+
+func metaFor(m *classfile.Method) []nodeMeta {
+	if v, ok := metaCache.Load(m); ok {
+		return v.([]nodeMeta)
+	}
+	meta := decodeMeta(m.Code)
+	if metaCacheLen.Load() >= metaCacheMax {
+		metaCache.Clear()
+		metaCacheLen.Store(0)
+	}
+	if _, loaded := metaCache.LoadOrStore(m, meta); !loaded {
+		metaCacheLen.Add(1)
+	}
+	return meta
+}
+
+func decodeMeta(code []bytecode.Instruction) []nodeMeta {
+	meta := make([]nodeMeta, len(code))
+	for i := range code {
+		in := &code[i]
+		m := nodeMeta{
+			target:   int32(in.Target),
+			localReg: -1,
+			pop:      int32(in.Pop),
+			push:     int32(in.Push),
+			group:    in.Group(),
+		}
+		if reg, ok := in.LocalIndex(); ok {
+			m.localReg = int32(reg)
+		}
+		switch m.group {
+		case bytecode.GroupControl, bytecode.GroupReturn:
+			m.flags |= metaControl
+		case bytecode.GroupMemRead, bytecode.GroupMemWrite:
+			m.flags |= metaOrderedStorage
+		case bytecode.GroupLocalRead, bytecode.GroupMove:
+			m.flags |= metaFoldKind
+		}
+		if in.IsBranch() {
+			m.flags |= metaBranch
+		}
+		if in.IsReturn() {
+			m.flags |= metaReturn
+		}
+		if in.Op == bytecode.Goto || in.Op == bytecode.GotoW {
+			m.flags |= metaAlwaysTaken
+		}
+		meta[i] = m
+	}
+	return meta
 }
 
 // nodePhase tracks an Instruction Data Unit's execution lifecycle.
@@ -83,6 +182,10 @@ type nodeState struct {
 	held         []token
 	execLeft     int
 	serviceLeft  int
+	// gen counts resets of this node (backward bundle transports); the
+	// event loop tags scheduled completions with it so a reset mid-phase
+	// orphans the stale completion instead of firing a reset node.
+	gen uint32
 	// decision caches the control-flow outcome chosen at fire time.
 	decisionTaken bool
 	firedOnce     bool // coverage accounting across loop iterations
@@ -132,6 +235,14 @@ func (r Result) Parallelism() float64 {
 }
 
 // Engine simulates one method execution on one configuration.
+//
+// Two interchangeable loops drive the shared token-rule semantics below:
+// Run uses the event-driven core (engine_event.go) — arrival-bucketed
+// queues, an incremental rearmost-TAIL watermark, counter-based phase
+// tracking and cycle skipping — while RunReference replays the original
+// clock-by-clock loop. Both produce byte-identical Results; the
+// differential tests assert it and the reference loop is kept as the
+// oracle. An Engine is single-use: create a fresh one per Run.
 type Engine struct {
 	cfg        Config
 	placement  *fabric.Placement
@@ -139,8 +250,9 @@ type Engine struct {
 	predictor  *Predictor
 
 	nodes   []nodeState
-	serialQ []serialMsg
-	meshQ   []meshMsg
+	meta    []nodeMeta
+	serialQ []serialMsg // reference loop in-flight serial messages
+	meshQ   []meshMsg   // reference loop in-flight operand transfers
 
 	maxCycles int
 	fired     int
@@ -165,6 +277,52 @@ type Engine struct {
 	// are not counted as executed instructions, modelling their
 	// elimination after the linkage process.
 	foldTransfers bool
+
+	// ---- event-driven core state (engine_event.go) ----
+
+	// event selects the event-driven representations in the shared
+	// semantic code; set by Run, left false by RunReference.
+	event bool
+	// serialNow / meshNow are the absolute serial clock and active mesh
+	// cycle counts; every queued arrival and completion is keyed on them.
+	// meshTick counts completed mesh decrement passes: it runs one ahead
+	// of meshNow during a cycle's mesh phase, because the reference loop
+	// decrements a message pushed in the serial phase on that same
+	// cycle's mesh clock (arrival c+d-1) but a message pushed during the
+	// mesh clock only from the next cycle (arrival c+d).
+	serialNow int
+	meshNow   int
+	meshTick  int
+	serialEv  timeQ[serialMsg]
+	meshEv    timeQ[meshMsg]
+	doneEv    timeQ[completion]
+	// The rearmost-TAIL watermark. There is exactly one TAIL in the
+	// machine: tailHeldAt is the node buffering it (-1 while in flight)
+	// and tailPos its position (destination while in flight, holder
+	// while parked). liveAt[p] counts every other live token at
+	// position p — in-flight serial messages by destination plus held
+	// tokens by node — and liveBehind is the running sum of
+	// liveAt[0..tailPos], updated in O(1) per token move and O(span)
+	// when the TAIL itself moves. The reference loop's
+	// O(serialQ + nodes·held) rearmost scan becomes liveBehind==0.
+	tailHeldAt int
+	tailPos    int
+	liveAt     []int32
+	liveBehind int
+	// executingCount/serviceCount replace the reference loop's full-node
+	// sweeps for busy accounting and in-flight detection.
+	executingCount int
+	serviceCount   int
+	// Precomputed per-placement distances: nextD[i] is the serial hop to
+	// i+1, branchD[i] the serial distance to i's branch target, and
+	// meshD[meshOff[i]+k] the mesh distance to Targets[i][k].Consumer —
+	// the inner loop never calls through fabric.Fabric per message.
+	nextD   []int32
+	branchD []int32
+	meshD   []int32
+	meshOff []int32
+
+	stats EngineStats
 }
 
 // NewEngine prepares an execution. The placement must come from the same
@@ -176,7 +334,9 @@ func NewEngine(cfg Config, res *fabric.Resolution, policy BranchPolicy) *Engine 
 		resolution: res,
 		predictor:  NewPredictor(policy),
 		nodes:      make([]nodeState, len(res.Placement.Method.Code)),
+		meta:       metaFor(res.Placement.Method),
 		maxCycles:  DefaultMaxMeshCycles,
+		tailHeldAt: -1,
 	}
 }
 
@@ -195,22 +355,15 @@ func (e *Engine) ScheduleQuiesce(atCycle, duration int) {
 // EnableFolding turns on the Section 6.4 folding-enhancement model.
 func (e *Engine) EnableFolding() { e.foldTransfers = true }
 
-// SetPreempt arranges for Run to poll ctx every preemptEvery mesh cycles
-// and return ctx.Err() mid-execution once it is cancelled. A nil ctx (the
-// default) disables the check entirely.
+// SetPreempt arranges for Run to poll ctx at least every preemptEvery mesh
+// cycles and return ctx.Err() mid-execution once it is cancelled. A nil ctx
+// (the default) disables the check entirely.
 func (e *Engine) SetPreempt(ctx context.Context) { e.preemptCtx = ctx }
 
 // foldable reports whether instruction i is a pure data transfer the
 // folding enhancement eliminates.
 func (e *Engine) foldable(i int) bool {
-	if !e.foldTransfers {
-		return false
-	}
-	switch e.code(i).Group() {
-	case bytecode.GroupLocalRead, bytecode.GroupMove:
-		return true
-	}
-	return false
+	return e.foldTransfers && e.meta[i].flags&metaFoldKind != 0
 }
 
 func (e *Engine) code(i int) bytecode.Instruction {
@@ -225,30 +378,184 @@ func (e *Engine) meshDist(from, to int) int {
 	return e.cfg.Fabric.MeshDistance(e.placement.NodeOf[from], e.placement.NodeOf[to])
 }
 
+// hopDelay is the serial delay from i to its linear successor.
+func (e *Engine) hopDelay(i int) int {
+	if e.event {
+		return int(e.nextD[i])
+	}
+	return e.serialDist(i, i+1)
+}
+
+// targetDelay is the serial delay from a branch at `from` to its Target.
+func (e *Engine) targetDelay(from, to int) int {
+	if e.event {
+		return int(e.branchD[from])
+	}
+	return e.serialDist(from, to)
+}
+
 // isControl reports whether instruction i buffers the token bundle until it
 // fires (Section 6.3, Control Flow Operations). Calls pass tokens through
 // (only TAIL is buffered), so they are not control for buffering purposes.
 func (e *Engine) isControl(i int) bool {
-	switch e.code(i).Group() {
-	case bytecode.GroupControl, bytecode.GroupReturn:
-		return true
-	}
-	return false
+	return e.meta[i].flags&metaControl != 0
 }
 
 // isOrderedStorage reports whether instruction i participates in
 // MEMORY_TOKEN ordering: array and field accesses, but not constant-pool
 // loads ("unordered constant access to the Method Area").
 func (e *Engine) isOrderedStorage(i int) bool {
-	switch e.code(i).Group() {
-	case bytecode.GroupMemRead, bytecode.GroupMemWrite:
-		return true
-	}
-	return false
+	return e.meta[i].flags&metaOrderedStorage != 0
 }
 
-// Run simulates the method to completion (a Return fires) or timeout.
-func (e *Engine) Run() (Result, error) {
+// ---- queue and bookkeeping primitives shared by both loops ----
+
+// pushSerial schedules tok for node `to`, `delay` serial clocks out.
+func (e *Engine) pushSerial(t token, to, delay int) {
+	if !e.event {
+		e.serialQ = append(e.serialQ, serialMsg{t, to, delay})
+		return
+	}
+	e.serialEv.push(e.serialNow+delay, serialMsg{t, to, delay})
+	if t.kind == tokTail {
+		e.moveTail(to)
+	} else {
+		e.liveAt[to]++
+		if to <= e.tailPos {
+			e.liveBehind++
+		}
+	}
+}
+
+// moveTail relocates the watermark to position p: forward moves fold the
+// crossed span into liveBehind; a backward transport re-sums the prefix.
+func (e *Engine) moveTail(p int) {
+	if p >= e.tailPos {
+		for k := e.tailPos + 1; k <= p; k++ {
+			e.liveBehind += int(e.liveAt[k])
+		}
+	} else {
+		s := 0
+		for k := 0; k <= p; k++ {
+			s += int(e.liveAt[k])
+		}
+		e.liveBehind = s
+	}
+	e.tailPos = p
+}
+
+// pushMesh schedules an operand delivery `delay` mesh cycles out.
+func (e *Engine) pushMesh(to, delay int) {
+	if !e.event {
+		e.meshQ = append(e.meshQ, meshMsg{to: to, delay: delay})
+		return
+	}
+	e.meshEv.push(e.meshTick+delay-1, meshMsg{to: to, delay: delay})
+}
+
+// holdToken buffers tok at node i.
+func (e *Engine) holdToken(i int, t token) {
+	e.nodes[i].held = append(e.nodes[i].held, t)
+	if e.event {
+		if t.kind == tokTail {
+			e.tailHeldAt = i // tailPos is already i (its delivery target)
+		} else {
+			e.liveAt[i]++
+			if i <= e.tailPos {
+				e.liveBehind++
+			}
+		}
+	}
+}
+
+// noteUnheld records that tok left node i's buffer.
+func (e *Engine) noteUnheld(i int, t token) {
+	if !e.event {
+		return
+	}
+	if t.kind == tokTail {
+		e.tailHeldAt = -1 // position unchanged until the re-push
+	} else {
+		e.liveAt[i]--
+		if i <= e.tailPos {
+			e.liveBehind--
+		}
+	}
+}
+
+// setPhase transitions node i, keeping the event loop's phase counters.
+func (e *Engine) setPhase(i int, p nodePhase) {
+	n := &e.nodes[i]
+	if n.phase == p {
+		return
+	}
+	if e.event {
+		switch n.phase {
+		case phaseExecuting:
+			e.executingCount--
+		case phaseService:
+			e.serviceCount--
+		}
+		switch p {
+		case phaseExecuting:
+			e.executingCount++
+		case phaseService:
+			e.serviceCount++
+		}
+	}
+	n.phase = p
+}
+
+// scheduleDone registers node i's current phase to complete at the given
+// absolute mesh cycle (event loop only).
+func (e *Engine) scheduleDone(i, at int) {
+	e.doneEv.push(at, completion{node: i, gen: e.nodes[i].gen})
+}
+
+// pendingSerial / pendingMesh are the in-flight message counts under
+// whichever representation the active loop uses.
+func (e *Engine) pendingSerial() int {
+	if e.event {
+		return e.serialEv.n
+	}
+	return len(e.serialQ)
+}
+
+func (e *Engine) pendingMesh() int {
+	if e.event {
+		return e.meshEv.n
+	}
+	return len(e.meshQ)
+}
+
+// injectBundle enqueues the initial token bundle at instruction 0,
+// staggered one serial clock apart: HEAD, MEMORY, one REGISTER per local,
+// TAIL (Figure 23).
+func (e *Engine) injectBundle() {
+	m := e.placement.Method
+	delay := 1
+	e.pushSerial(token{kind: tokHead}, 0, delay)
+	delay++
+	e.pushSerial(token{kind: tokMemory}, 0, delay)
+	delay++
+	for r := 0; r < m.MaxLocals; r++ {
+		e.pushSerial(token{kind: tokRegister, reg: r}, 0, delay)
+		delay++
+	}
+	e.pushSerial(token{kind: tokTail}, 0, delay)
+}
+
+// Run simulates the method to completion (a Return fires) or timeout,
+// using the event-driven core. Results are byte-identical to
+// RunReference's (asserted by the differential tests), so EngineVersion
+// covers both loops.
+func (e *Engine) Run() (Result, error) { return e.runEvent() }
+
+// RunReference simulates with the original clock-by-clock loop: every
+// serial clock decrements every in-flight message, every mesh cycle sweeps
+// every node. It is kept as the equivalence oracle for the event-driven
+// core and for microbenchmark comparison; production paths use Run.
+func (e *Engine) RunReference() (Result, error) {
 	m := e.placement.Method
 	res := Result{
 		Config:    e.cfg.Name,
@@ -257,19 +564,7 @@ func (e *Engine) Run() (Result, error) {
 		MaxNode:   e.placement.MaxNode,
 	}
 
-	// Inject the token bundle at instruction 0, staggered one serial
-	// clock apart: HEAD, MEMORY, one REGISTER per local, TAIL
-	// (Figure 23).
-	delay := 1
-	e.serialQ = append(e.serialQ, serialMsg{token{kind: tokHead}, 0, delay})
-	delay++
-	e.serialQ = append(e.serialQ, serialMsg{token{kind: tokMemory}, 0, delay})
-	delay++
-	for r := 0; r < m.MaxLocals; r++ {
-		e.serialQ = append(e.serialQ, serialMsg{token{kind: tokRegister, reg: r}, 0, delay})
-		delay++
-	}
-	e.serialQ = append(e.serialQ, serialMsg{token{kind: tokTail}, 0, delay})
+	e.injectBundle()
 
 	for cycle := 0; ; cycle++ {
 		if e.preemptCtx != nil && cycle&(preemptEvery-1) == 0 {
@@ -335,6 +630,9 @@ func (e *Engine) fillCoverage(res *Result) {
 }
 
 func (e *Engine) anyInFlight() bool {
+	if e.event {
+		return e.executingCount > 0 || e.serviceCount > 0
+	}
 	for i := range e.nodes {
 		switch e.nodes[i].phase {
 		case phaseExecuting, phaseService:
@@ -345,7 +643,7 @@ func (e *Engine) anyInFlight() bool {
 }
 
 // serialClock advances every in-flight serial message one clock and
-// processes arrivals.
+// processes arrivals (reference loop).
 func (e *Engine) serialClock() {
 	var arrivals []serialMsg
 	keep := e.serialQ[:0]
@@ -359,12 +657,7 @@ func (e *Engine) serialClock() {
 	}
 	e.serialQ = keep
 	// Deterministic processing order: by destination, then token kind.
-	sort.SliceStable(arrivals, func(i, j int) bool {
-		if arrivals[i].to != arrivals[j].to {
-			return arrivals[i].to < arrivals[j].to
-		}
-		return arrivals[i].tok.kind < arrivals[j].tok.kind
-	})
+	sortSerialArrivals(arrivals)
 	for _, msg := range arrivals {
 		e.tokenArrives(msg.tok, msg.to)
 	}
@@ -373,11 +666,11 @@ func (e *Engine) serialClock() {
 // tokenArrives applies the Section 6.3 per-group token rules at node i.
 func (e *Engine) tokenArrives(tok token, i int) {
 	n := &e.nodes[i]
-	in := e.code(i)
+	mt := &e.meta[i]
 
 	// TAIL always parks; the rearmost sweep moves it on.
 	if tok.kind == tokTail {
-		n.held = append(n.held, tok)
+		e.holdToken(i, tok)
 		e.checkFire(i)
 		return
 	}
@@ -386,11 +679,12 @@ func (e *Engine) tokenArrives(tok token, i int) {
 	// backward-taken decision they keep buffering until TAIL. Tokens
 	// trailing in after a forward/fall-through decision are routed
 	// directly along the decided path.
-	if e.isControl(i) {
-		if n.phase == phaseFired && (!in.IsBranch() || !n.decisionTaken || in.Target > i) {
+	if mt.flags&metaControl != 0 {
+		isBranch, target := mt.flags&metaBranch != 0, int(mt.target)
+		if n.phase == phaseFired && (!isBranch || !n.decisionTaken || target > i) {
 			switch {
-			case in.IsBranch() && n.decisionTaken && in.Target > i:
-				e.forwardTokenTo(tok, i, in.Target, 0)
+			case isBranch && n.decisionTaken && target > i:
+				e.forwardTokenTo(tok, i, target, 0)
 			default:
 				e.forwardToken(tok, i)
 			}
@@ -399,7 +693,7 @@ func (e *Engine) tokenArrives(tok token, i int) {
 		if tok.kind == tokHead {
 			n.headSeen = true
 		}
-		n.held = append(n.held, tok)
+		e.holdToken(i, tok)
 		e.checkFire(i)
 		return
 	}
@@ -411,22 +705,21 @@ func (e *Engine) tokenArrives(tok token, i int) {
 		e.checkFire(i)
 
 	case tokMemory:
-		if e.isOrderedStorage(i) && n.phase == phaseReady {
+		if mt.flags&metaOrderedStorage != 0 && n.phase == phaseReady {
 			n.memSeen = true
-			n.held = append(n.held, tok)
+			e.holdToken(i, tok)
 			e.checkFire(i)
 			return
 		}
 		e.forwardToken(tok, i)
 
 	case tokRegister:
-		reg, isLocal := in.LocalIndex()
-		if isLocal && reg == tok.reg {
-			switch in.Group() {
+		if int(mt.localReg) == tok.reg {
+			switch mt.group {
 			case bytecode.GroupLocalRead, bytecode.GroupLocalInc:
 				if n.phase == phaseReady {
 					n.regSeen = true
-					n.held = append(n.held, tok)
+					e.holdToken(i, tok)
 					e.checkFire(i)
 					return
 				}
@@ -449,7 +742,15 @@ func (e *Engine) tokenArrives(tok token, i int) {
 
 // tailIsRearmost reports whether no other live token is behind or at node
 // i — the global "TAIL_TOKEN may never pass any other token" invariant.
+// The event loop answers from the incrementally maintained watermark
+// indices; the reference loop scans the queues.
 func (e *Engine) tailIsRearmost(i int) bool {
+	if e.event {
+		// Only ever asked about the parked TAIL itself, so i == tailPos
+		// and liveBehind is exactly the count of non-TAIL tokens held at
+		// or in flight to nodes <= i.
+		return e.liveBehind == 0
+	}
 	for _, msg := range e.serialQ {
 		if msg.tok.kind != tokTail && msg.to <= i {
 			return false
@@ -467,30 +768,44 @@ func (e *Engine) tailIsRearmost(i int) bool {
 
 // releasePendingTails advances a parked TAIL_TOKEN when its node has fired
 // and the token is globally rearmost. Backward-taken jumps instead trigger
-// the bundle transport.
+// the bundle transport. There is exactly one TAIL in the machine, so the
+// event loop checks just its tracked holder; the reference loop sweeps
+// every node.
 func (e *Engine) releasePendingTails() {
+	if e.event {
+		if i := e.tailHeldAt; i >= 0 {
+			e.tryReleaseTail(i)
+		}
+		return
+	}
 	for i := range e.nodes {
-		n := &e.nodes[i]
-		if n.phase != phaseFired || !e.holdsTail(i) {
-			continue
-		}
-		in := e.code(i)
-		if e.isControl(i) && in.IsBranch() && n.decisionTaken && in.Target <= i {
-			e.maybeCompleteBackward(i)
-			continue
-		}
-		if e.code(i).IsReturn() {
-			continue // consumed by the return
-		}
-		if !e.tailIsRearmost(i) {
-			continue
-		}
-		e.removeTail(i)
-		if e.isControl(i) && in.IsBranch() && n.decisionTaken && in.Target > i {
-			e.forwardTokenTo(token{kind: tokTail}, i, in.Target, 0)
-		} else {
-			e.forwardToken(token{kind: tokTail}, i)
-		}
+		e.tryReleaseTail(i)
+	}
+}
+
+// tryReleaseTail applies the tail-release rules at node i.
+func (e *Engine) tryReleaseTail(i int) {
+	n := &e.nodes[i]
+	if n.phase != phaseFired || !e.holdsTail(i) {
+		return
+	}
+	mt := &e.meta[i]
+	controlBranch := mt.flags&metaControl != 0 && mt.flags&metaBranch != 0
+	if controlBranch && n.decisionTaken && int(mt.target) <= i {
+		e.maybeCompleteBackward(i)
+		return
+	}
+	if mt.flags&metaReturn != 0 {
+		return // consumed by the return
+	}
+	if !e.tailIsRearmost(i) {
+		return
+	}
+	e.removeTail(i)
+	if controlBranch && n.decisionTaken && int(mt.target) > i {
+		e.forwardTokenTo(token{kind: tokTail}, i, int(mt.target), 0)
+	} else {
+		e.forwardToken(token{kind: tokTail}, i)
 	}
 }
 
@@ -500,6 +815,7 @@ func (e *Engine) removeTail(i int) {
 	for k, t := range n.held {
 		if t.kind == tokTail {
 			n.held = append(n.held[:k], n.held[k+1:]...)
+			e.noteUnheld(i, t)
 			return
 		}
 	}
@@ -512,13 +828,13 @@ func (e *Engine) forwardToken(tok token, i int) {
 	if next >= len(e.nodes) {
 		return // fell off the method end (only returns should consume TAIL)
 	}
-	e.serialQ = append(e.serialQ, serialMsg{tok, next, e.serialDist(i, next)})
+	e.pushSerial(tok, next, e.hopDelay(i))
 }
 
 // forwardTokenTo schedules tok with an explicit target (taken branches);
 // intervening nodes ignore explicitly addressed messages.
 func (e *Engine) forwardTokenTo(tok token, from, to, stagger int) {
-	e.serialQ = append(e.serialQ, serialMsg{tok, to, e.serialDist(from, to) + stagger})
+	e.pushSerial(tok, to, e.targetDelay(from, to)+stagger)
 }
 
 // meshDeliver processes an operand arrival.
@@ -534,56 +850,60 @@ func (e *Engine) checkFire(i int) {
 	if n.phase != phaseReady {
 		return
 	}
-	in := e.code(i)
+	mt := &e.meta[i]
 
-	switch in.Group() {
+	switch mt.group {
 	case bytecode.GroupLocalRead, bytecode.GroupLocalInc:
 		if !n.headSeen || !n.regSeen {
 			return
 		}
 	case bytecode.GroupMemRead, bytecode.GroupMemWrite:
-		if !n.headSeen || !n.memSeen || n.popsReceived < in.Pop {
+		if !n.headSeen || !n.memSeen || n.popsReceived < int(mt.pop) {
 			return
 		}
 	case bytecode.GroupReturn:
-		if !n.headSeen || n.popsReceived < in.Pop || !e.holdsTail(i) {
+		if !n.headSeen || n.popsReceived < int(mt.pop) || !e.holdsTail(i) {
 			return
 		}
 	case bytecode.GroupControl:
-		if !n.headSeen || n.popsReceived < in.Pop {
+		if !n.headSeen || n.popsReceived < int(mt.pop) {
 			return
 		}
 		// Decide direction now; a backward-taken jump additionally
 		// needs TAIL before the bundle moves (handled at completion).
 		taken := false
 		switch {
-		case in.Op == bytecode.Goto || in.Op == bytecode.GotoW:
+		case mt.flags&metaAlwaysTaken != 0:
 			taken = true
-		case in.Target > i:
+		case int(mt.target) > i:
 			taken = e.predictor.Forward(i)
 		default:
 			taken = e.predictor.Backward(i)
 		}
 		n.decisionTaken = taken
 	default:
-		if !n.headSeen || n.popsReceived < in.Pop {
+		if !n.headSeen || n.popsReceived < int(mt.pop) {
 			return
 		}
 	}
 
-	n.phase = phaseExecuting
-	n.execLeft = ExecCycles(in.Group())
-	if in.Group() == bytecode.GroupCall {
+	e.setPhase(i, phaseExecuting)
+	n.execLeft = ExecCycles(mt.group)
+	if mt.group == bytecode.GroupCall {
 		// invoke round trip through the GPP
 		n.execLeft += GPPServiceCycles
 	}
-	if in.Group() == bytecode.GroupSpecial {
+	if mt.group == bytecode.GroupSpecial {
 		n.execLeft += GPPServiceCycles
 	}
 	if e.foldable(i) {
 		// Folded transfers are free: complete immediately without
 		// occupying an execution cycle.
 		e.completeExecution(i)
+	} else if e.event {
+		// A node armed during cycle c is first decremented during c's
+		// mesh clock, so an execLeft of L completes at cycle c+L-1.
+		e.scheduleDone(i, e.meshNow+n.execLeft-1)
 	}
 }
 
@@ -598,7 +918,8 @@ func (e *Engine) holdsTail(i int) bool {
 }
 
 // meshClock advances mesh messages, execution and service phases; returns
-// the number of nodes that were in their execution phase this cycle.
+// the number of nodes that were in their execution phase this cycle
+// (reference loop).
 func (e *Engine) meshClock() int {
 	// Operand deliveries.
 	var deliver []meshMsg
@@ -612,7 +933,7 @@ func (e *Engine) meshClock() int {
 		}
 	}
 	e.meshQ = keep
-	sort.SliceStable(deliver, func(i, j int) bool { return deliver[i].to < deliver[j].to })
+	sortMeshArrivals(deliver)
 	for _, msg := range deliver {
 		e.meshDeliver(msg)
 	}
@@ -642,17 +963,22 @@ func (e *Engine) meshClock() int {
 // to their service wait; everything else fires.
 func (e *Engine) completeExecution(i int) {
 	n := &e.nodes[i]
-	in := e.code(i)
-	if in.Group() == bytecode.GroupMemRead {
+	group := e.meta[i].group
+	if group == bytecode.GroupMemRead {
 		// "the node must remain in the 'waitingForService' state until
 		// the memory system returns the result."
-		n.phase = phaseService
+		e.setPhase(i, phaseService)
 		n.serviceLeft = MemoryServiceCycles
+		if e.event {
+			// First decremented on the next mesh clock: completes
+			// serviceLeft cycles after the transition.
+			e.scheduleDone(i, e.meshNow+n.serviceLeft)
+		}
 		// The MEMORY_TOKEN (order number assigned) moves on immediately.
 		e.releaseMemoryToken(i)
 		return
 	}
-	if in.Group() == bytecode.GroupMemWrite {
+	if group == bytecode.GroupMemWrite {
 		// Writes post: the service message is sent and processing
 		// continues.
 		e.releaseMemoryToken(i)
@@ -671,6 +997,7 @@ func (e *Engine) releaseMemoryToken(i int) {
 	for k, t := range n.held {
 		if t.kind == tokMemory {
 			n.held = append(n.held[:k], n.held[k+1:]...)
+			e.noteUnheld(i, t)
 			e.forwardToken(t, i)
 			return
 		}
@@ -681,21 +1008,28 @@ func (e *Engine) releaseMemoryToken(i int) {
 // releases buffered tokens according to its group.
 func (e *Engine) fireNode(i int) {
 	n := &e.nodes[i]
-	in := e.code(i)
-	n.phase = phaseFired
+	mt := &e.meta[i]
+	e.setPhase(i, phaseFired)
 	n.firedOnce = true
 	if !e.foldable(i) {
 		e.fired++
 	}
 
 	// Operand emission to every resolved consumer.
-	if in.Push > 0 {
-		for _, tg := range e.resolution.Targets[i] {
-			e.meshQ = append(e.meshQ, meshMsg{to: tg.Consumer, delay: e.meshDist(i, tg.Consumer)})
+	if mt.push > 0 {
+		if e.event {
+			off := int(e.meshOff[i])
+			for k, tg := range e.resolution.Targets[i] {
+				e.pushMesh(tg.Consumer, int(e.meshD[off+k]))
+			}
+		} else {
+			for _, tg := range e.resolution.Targets[i] {
+				e.pushMesh(tg.Consumer, e.meshDist(i, tg.Consumer))
+			}
 		}
 	}
 
-	switch in.Group() {
+	switch mt.group {
 	case bytecode.GroupReturn:
 		e.finished = true
 		return
@@ -709,8 +1043,7 @@ func (e *Engine) fireNode(i int) {
 
 	case bytecode.GroupLocalWrite:
 		// Emit the replacement REGISTER_TOKEN.
-		reg, _ := in.LocalIndex()
-		e.forwardToken(token{kind: tokRegister, reg: reg}, i)
+		e.forwardToken(token{kind: tokRegister, reg: int(mt.localReg)}, i)
 		e.releaseHeld(i)
 		return
 
@@ -730,7 +1063,7 @@ func (e *Engine) forwardTokenStagger(t token, i int, stagger *int) {
 	if next >= len(e.nodes) {
 		return
 	}
-	e.serialQ = append(e.serialQ, serialMsg{t, next, e.serialDist(i, next) + *stagger})
+	e.pushSerial(t, next, e.hopDelay(i)+*stagger)
 	*stagger++
 }
 
@@ -738,7 +1071,7 @@ func (e *Engine) forwardTokenStagger(t token, i int, stagger *int) {
 // stays behind for the rearmost sweep.
 func (e *Engine) releaseHeld(i int) {
 	n := &e.nodes[i]
-	sort.SliceStable(n.held, func(a, b int) bool { return n.held[a].kind < n.held[b].kind })
+	sortTokensByKind(n.held)
 	stagger := 0
 	var tail []token
 	for _, t := range n.held {
@@ -746,6 +1079,7 @@ func (e *Engine) releaseHeld(i int) {
 			tail = append(tail, t)
 			continue
 		}
+		e.noteUnheld(i, t)
 		e.forwardTokenStagger(t, i, &stagger)
 	}
 	n.held = tail
@@ -754,17 +1088,17 @@ func (e *Engine) releaseHeld(i int) {
 // completeControl routes the buffered bundle after a control node fires.
 func (e *Engine) completeControl(i int) {
 	n := &e.nodes[i]
-	in := e.code(i)
-	target := in.Target
+	mt := &e.meta[i]
+	target := int(mt.target)
 
 	switch {
-	case !in.IsBranch() || !n.decisionTaken:
+	case mt.flags&metaBranch == 0 || !n.decisionTaken:
 		// Calls and not-taken jumps fall through.
 		e.releaseHeld(i)
 	case target > i:
 		// Forward taken: explicit addressing to the target; a parked
 		// TAIL follows via the sweep.
-		sort.SliceStable(n.held, func(a, b int) bool { return n.held[a].kind < n.held[b].kind })
+		sortTokensByKind(n.held)
 		stagger := 0
 		var tail []token
 		for _, t := range n.held {
@@ -772,6 +1106,7 @@ func (e *Engine) completeControl(i int) {
 				tail = append(tail, t)
 				continue
 			}
+			e.noteUnheld(i, t)
 			e.forwardTokenTo(t, i, target, stagger)
 			stagger++
 		}
@@ -789,11 +1124,11 @@ func (e *Engine) completeControl(i int) {
 // instruction from the same thread/class/method must also reset").
 func (e *Engine) maybeCompleteBackward(i int) {
 	n := &e.nodes[i]
-	in := e.code(i)
+	mt := &e.meta[i]
 	if n.phase != phaseFired || !n.decisionTaken {
 		return
 	}
-	if !in.IsBranch() || in.Target > i {
+	if mt.flags&metaBranch == 0 || int(mt.target) > i {
 		return
 	}
 	if !e.holdsTail(i) {
@@ -801,46 +1136,72 @@ func (e *Engine) maybeCompleteBackward(i int) {
 	}
 	// The transport may only move a complete bundle: nothing still in
 	// flight toward the jump and nothing buffered behind it.
-	for _, msg := range e.serialQ {
-		if msg.to <= i {
+	if e.event {
+		// The TAIL is held here (checked above), so tailPos == i and
+		// liveBehind counts non-TAIL tokens in flight to <= i or held at
+		// <= i. The bundle buffered at i itself is expected; anything
+		// beyond it blocks the transport.
+		if e.liveBehind != len(n.held)-1 {
 			return
 		}
-	}
-	for k := 0; k < i; k++ {
-		if len(e.nodes[k].held) > 0 {
-			return
+	} else {
+		for _, msg := range e.serialQ {
+			if msg.to <= i {
+				return
+			}
+		}
+		for k := 0; k < i; k++ {
+			if len(e.nodes[k].held) > 0 {
+				return
+			}
 		}
 	}
-	target := in.Target
+	target := int(mt.target)
 	bundle := n.held
 	n.held = nil
+	for _, t := range bundle {
+		e.noteUnheld(i, t)
+	}
 
 	// Reset the loop span (including this jump, which will re-execute).
 	for k := target; k <= i; k++ {
-		e.nodes[k] = nodeState{firedOnce: e.nodes[k].firedOnce, held: e.nodes[k].held}
+		nk := &e.nodes[k]
+		if e.event {
+			switch nk.phase {
+			case phaseExecuting:
+				e.executingCount--
+			case phaseService:
+				e.serviceCount--
+			}
+		}
+		// gen advances so completions scheduled for the old incarnation
+		// are orphaned; held is preserved (always empty below the jump —
+		// the transport gate above requires it).
+		e.nodes[k] = nodeState{firedOnce: nk.firedOnce, held: nk.held, gen: nk.gen + 1}
 	}
 
 	// Re-inject the bundle at the loop head, one serial clock apart, after
 	// the reverse transit.
-	dist := e.serialDist(i, target)
-	sort.SliceStable(bundle, func(a, b int) bool { return bundle[a].kind < bundle[b].kind })
+	dist := e.targetDelay(i, target)
+	sortTokensByKind(bundle)
 	stagger := 0
 	for _, t := range bundle {
-		e.serialQ = append(e.serialQ, serialMsg{t, target, dist + stagger})
+		e.pushSerial(t, target, dist+stagger)
 		stagger++
 	}
 }
 
 // DebugState renders node phases and pending queues for stall diagnosis.
 func (e *Engine) DebugState() string {
-	out := fmt.Sprintf("serialQ=%d meshQ=%d\n", len(e.serialQ), len(e.meshQ))
+	var b strings.Builder
+	fmt.Fprintf(&b, "serialQ=%d meshQ=%d\n", e.pendingSerial(), e.pendingMesh())
 	for i := range e.nodes {
 		n := &e.nodes[i]
 		if n.phase == phaseReady && len(n.held) == 0 && !n.headSeen && n.popsReceived == 0 {
 			continue
 		}
-		out += fmt.Sprintf("node %3d %-24s phase=%d head=%v pops=%d mem=%v reg=%v held=%d dec=%v\n",
+		fmt.Fprintf(&b, "node %3d %-24s phase=%d head=%v pops=%d mem=%v reg=%v held=%d dec=%v\n",
 			i, e.code(i).String(), n.phase, n.headSeen, n.popsReceived, n.memSeen, n.regSeen, len(n.held), n.decisionTaken)
 	}
-	return out
+	return b.String()
 }

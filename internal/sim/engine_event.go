@@ -1,0 +1,384 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// The event-driven engine core.
+//
+// The reference loop (Engine.RunReference) is O(nodes × cycles): every mesh
+// cycle decrements every in-flight message and sweeps every node, even when
+// nothing in the fabric can change. Between token arrivals and phase
+// completions the machine is static, so this loop advances time to the next
+// event instead of ticking every clock:
+//
+//   - serial and mesh messages are bucketed by absolute arrival clock in
+//     timeQs, so an idle clock costs nothing and a bucket pops pre-grouped;
+//   - tail release keeps a "rearmost live token" watermark (two fenwick
+//     indices plus the single TAIL's tracked position) updated on token
+//     moves, replacing the per-clock O(serialQ + nodes·held) scan;
+//   - executing/service counters and scheduled completions replace the
+//     per-cycle node sweep; BusyCycles/ParallelCycles accrue from the
+//     counters;
+//   - when the next arrival/completion is k cycles away the clock jumps by
+//     k (quiesce windows fast-forward in one step), with the preemption
+//     contract preserved by polling the context whenever a jump crosses a
+//     preemptEvery boundary.
+//
+// Every Result field is computed exactly as the reference loop computes it;
+// the differential tests assert byte-identical MethodRun encodings, which
+// is what lets EngineVersion — and therefore every persisted store record —
+// stay valid across this rewrite.
+
+// EngineStats reports one engine run's activity.
+type EngineStats struct {
+	// MeshCycles is the simulated wall mesh-cycle count, including
+	// skipped cycles.
+	MeshCycles uint64
+	// Events counts processed token arrivals, operand deliveries and
+	// phase completions.
+	Events uint64
+	// CyclesSkipped counts mesh cycles fast-forwarded without per-cycle
+	// work (eventless windows and quiesce stalls).
+	CyclesSkipped uint64
+}
+
+// Stats returns the run's activity counters (event-driven loop only; the
+// reference oracle does not account).
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// Process-wide engine throughput counters, aggregated at the end of every
+// event-driven run. Exposed via TotalEngineStats for /metrics gauges and
+// the jfbench summary.
+var engineTotals struct {
+	runs    atomic.Uint64
+	cycles  atomic.Uint64
+	events  atomic.Uint64
+	skipped atomic.Uint64
+}
+
+// EngineTotals is the process-wide engine activity snapshot.
+type EngineTotals struct {
+	Runs                uint64 `json:"runs"`
+	SimulatedMeshCycles uint64 `json:"simulatedMeshCycles"`
+	Events              uint64 `json:"events"`
+	CyclesSkipped       uint64 `json:"cyclesSkipped"`
+}
+
+// TotalEngineStats snapshots the process-wide engine counters.
+func TotalEngineStats() EngineTotals {
+	return EngineTotals{
+		Runs:                engineTotals.runs.Load(),
+		SimulatedMeshCycles: engineTotals.cycles.Load(),
+		Events:              engineTotals.events.Load(),
+		CyclesSkipped:       engineTotals.skipped.Load(),
+	}
+}
+
+// finishStats closes out the run's accounting and folds it into the
+// process totals.
+func (e *Engine) finishStats(cycles int) {
+	e.stats.MeshCycles = uint64(cycles)
+	engineTotals.runs.Add(1)
+	engineTotals.cycles.Add(e.stats.MeshCycles)
+	engineTotals.events.Add(e.stats.Events)
+	engineTotals.skipped.Add(e.stats.CyclesSkipped)
+}
+
+// distTables are the per-deployment distance lookups: nextD[i] is the
+// serial hop to i+1, branchD[i] the serial distance to i's branch target,
+// and meshD[meshOff[i]+k] the mesh distance to Targets[i][k].Consumer.
+type distTables struct {
+	nextD   []int32
+	branchD []int32
+	meshD   []int32
+	meshOff []int32
+}
+
+// distFor builds the distance tables for this engine's deployment: an
+// O(nodes + targets) pass, cheap enough to run per engine. (Not memoized
+// by resolution pointer on purpose: LRU-evicted deployments re-resolve to
+// fresh pointers, so a pointer-keyed cache would pin dead resolutions.)
+func (e *Engine) distFor() *distTables {
+	n := len(e.nodes)
+	f, nodeOf := e.cfg.Fabric, e.placement.NodeOf
+	total := 0
+	for _, tgts := range e.resolution.Targets {
+		total += len(tgts)
+	}
+	d := &distTables{
+		nextD:   make([]int32, n),
+		branchD: make([]int32, n),
+		meshOff: make([]int32, n),
+		meshD:   make([]int32, total),
+	}
+	off := 0
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			d.nextD[i] = int32(f.SerialDistance(nodeOf[i], nodeOf[i+1]))
+		}
+		if mt := &e.meta[i]; mt.flags&metaBranch != 0 && mt.target >= 0 && int(mt.target) < n {
+			d.branchD[i] = int32(f.SerialDistance(nodeOf[i], nodeOf[mt.target]))
+		}
+		d.meshOff[i] = int32(off)
+		for _, tg := range e.resolution.Targets[i] {
+			d.meshD[off] = int32(f.MeshDistance(nodeOf[i], nodeOf[tg.Consumer]))
+			off++
+		}
+	}
+	return d
+}
+
+// initEvent switches the engine into event mode, installs the
+// per-deployment distance tables (so the inner loop never calls through
+// fabric.Fabric per message) and zeroes the watermark index.
+func (e *Engine) initEvent() {
+	e.event = true
+	e.liveAt = make([]int32, len(e.nodes))
+	e.tailPos = -1
+	d := e.distFor()
+	e.nextD, e.branchD, e.meshD, e.meshOff = d.nextD, d.branchD, d.meshD, d.meshOff
+}
+
+// deliverSerialBucket pops the earliest serial bucket (serialNow must
+// already equal its time) and processes its arrivals in the reference
+// order: all same-clock messages leave the in-flight index first, then
+// arrive sorted by (destination, kind).
+func (e *Engine) deliverSerialBucket() {
+	_, msgs := e.serialEv.takeMin()
+	for _, msg := range msgs {
+		if msg.tok.kind != tokTail {
+			e.liveAt[msg.to]--
+			if msg.to <= e.tailPos {
+				e.liveBehind--
+			}
+		}
+	}
+	sortSerialArrivals(msgs)
+	e.stats.Events += uint64(len(msgs))
+	for _, msg := range msgs {
+		e.tokenArrives(msg.tok, msg.to)
+	}
+	e.serialEv.recycle(msgs)
+}
+
+// skipTarget returns the earliest future wall cycle at which anything can
+// happen: a serial arrival entering the cycle's serial budget, an operand
+// delivery, a scheduled completion, a quiesce window opening, or the
+// timeout bound. Returns cycle itself when this cycle has work.
+func (e *Engine) skipTarget(cycle, budget int) int {
+	target := e.maxCycles
+	if e.quiesceFor > 0 && e.quiesceAt > cycle && e.quiesceAt < target {
+		target = e.quiesceAt
+	}
+	if e.serialEv.n > 0 {
+		sc := cycle
+		if budget != DrainSerial {
+			// The serial phase of cycle c covers absolute serial clocks
+			// (serialNow, serialNow+budget]; an arrival at clock T lands
+			// in the cycle floor((T-serialNow-1)/budget) ahead.
+			sc += (e.serialEv.nextTime() - e.serialNow - 1) / budget
+		}
+		if sc < target {
+			target = sc
+		}
+	}
+	if e.meshEv.n > 0 {
+		if mc := cycle + (e.meshEv.nextTime() - e.meshNow); mc < target {
+			target = mc
+		}
+	}
+	if e.doneEv.n > 0 {
+		if dc := cycle + (e.doneEv.nextTime() - e.meshNow); dc < target {
+			target = dc
+		}
+	}
+	if target < cycle {
+		target = cycle
+	}
+	return target
+}
+
+// pollPreemptBetween polls the context once if any preemptEvery boundary
+// lies strictly between from and to (the loop head re-checks `to` itself).
+func (e *Engine) pollPreemptBetween(from, to int) error {
+	if e.preemptCtx == nil {
+		return nil
+	}
+	if next := (from/preemptEvery + 1) * preemptEvery; next < to {
+		return e.preemptCtx.Err()
+	}
+	return nil
+}
+
+// runEvent is the event-driven Run loop.
+func (e *Engine) runEvent() (Result, error) {
+	m := e.placement.Method
+	res := Result{
+		Config:    e.cfg.Name,
+		Signature: m.Signature(),
+		Static:    len(m.Code),
+		MaxNode:   e.placement.MaxNode,
+	}
+
+	e.initEvent()
+	e.injectBundle()
+
+	budget := e.cfg.SerialPerMesh
+	cycle := 0
+	for {
+		if e.preemptCtx != nil && cycle&(preemptEvery-1) == 0 {
+			if err := e.preemptCtx.Err(); err != nil {
+				e.finishStats(cycle)
+				return Result{}, err
+			}
+		}
+		if cycle >= e.maxCycles {
+			res.MeshCycles = cycle
+			res.Fired = e.fired
+			res.TimedOut = true
+			e.fillCoverage(&res)
+			e.finishStats(cycle)
+			return res, nil
+		}
+
+		// Quiesced fabric: everything freezes, wall cycles still elapse.
+		// Fast-forward the whole window in one jump; queued arrivals stay
+		// keyed on the active clocks, which do not advance here.
+		if e.quiesceFor > 0 && cycle >= e.quiesceAt && cycle < e.quiesceAt+e.quiesceFor {
+			end := e.quiesceAt + e.quiesceFor
+			if end > e.maxCycles {
+				end = e.maxCycles
+			}
+			if err := e.pollPreemptBetween(cycle, end); err != nil {
+				e.finishStats(cycle)
+				return Result{}, err
+			}
+			e.stats.CyclesSkipped += uint64(end - cycle)
+			cycle = end
+			continue
+		}
+
+		// Dead-time skip: when this cycle has no arrivals or completions
+		// the machine state cannot change (tail releases reached their
+		// fixpoint at the end of the previous cycle), so jump to the next
+		// event, accruing busy counters and serial clocks arithmetically.
+		// A fully drained machine must instead fall through and hit the
+		// reference loop's stall error at this cycle.
+		stalled := e.serialEv.n == 0 && e.meshEv.n == 0 &&
+			e.executingCount == 0 && e.serviceCount == 0
+		if !stalled {
+			if target := e.skipTarget(cycle, budget); target > cycle {
+				k := target - cycle
+				if e.executingCount >= 1 {
+					res.BusyCycles += k
+				}
+				if e.executingCount >= 2 {
+					res.ParallelCycles += k
+				}
+				if budget != DrainSerial && e.serialEv.n > 0 {
+					e.serialNow += k * budget
+				}
+				if err := e.pollPreemptBetween(cycle, target); err != nil {
+					e.finishStats(cycle)
+					return Result{}, err
+				}
+				e.stats.CyclesSkipped += uint64(k)
+				cycle = target
+				e.meshNow += k
+				e.meshTick += k
+				continue
+			}
+		}
+
+		// --- Serial phase: up to SerialPerMesh serial clocks (or drain
+		// for the Baseline rule), jumping over arrival-free clocks. ---
+		if budget == DrainSerial {
+			for {
+				e.releasePendingTails()
+				if e.serialEv.n == 0 {
+					break
+				}
+				e.serialNow = e.serialEv.nextTime()
+				e.deliverSerialBucket()
+			}
+		} else {
+			phaseStart := e.serialNow
+			for used := 0; used < budget; {
+				e.releasePendingTails()
+				if e.serialEv.n == 0 {
+					break
+				}
+				t := e.serialEv.nextTime()
+				if t > phaseStart+budget {
+					// The queue stays non-empty, so the remaining
+					// budget elapses without arrivals.
+					e.serialNow = phaseStart + budget
+					break
+				}
+				e.serialNow = t
+				used = t - phaseStart
+				e.deliverSerialBucket()
+			}
+		}
+		e.releasePendingTails()
+
+		// --- Mesh phase. This cycle's decrement pass happens now:
+		// anything pushed from here on is first decremented next cycle.
+		e.meshTick++
+		if e.meshEv.n > 0 && e.meshEv.nextTime() == e.meshNow {
+			_, msgs := e.meshEv.takeMin()
+			sortMeshArrivals(msgs)
+			e.stats.Events += uint64(len(msgs))
+			for _, msg := range msgs {
+				e.meshDeliver(msg)
+			}
+			e.meshEv.recycle(msgs)
+		}
+		// Busy accounting snapshots the counters after deliveries and
+		// before completions — exactly the set of nodes the reference
+		// sweep finds in their execution phase this cycle.
+		if e.executingCount >= 1 {
+			res.BusyCycles++
+		}
+		if e.executingCount >= 2 {
+			res.ParallelCycles++
+		}
+		if e.doneEv.n > 0 && e.doneEv.nextTime() == e.meshNow {
+			_, evs := e.doneEv.takeMin()
+			sortCompletions(evs)
+			for _, ev := range evs {
+				n := &e.nodes[ev.node]
+				if n.gen != ev.gen {
+					continue // node reset since this was scheduled
+				}
+				e.stats.Events++
+				switch n.phase {
+				case phaseExecuting:
+					e.completeExecution(ev.node)
+				case phaseService:
+					e.completeService(ev.node)
+				}
+			}
+			e.doneEv.recycle(evs)
+		}
+		e.releasePendingTails()
+
+		if e.finished {
+			res.MeshCycles = cycle + 1
+			res.Fired = e.fired
+			e.fillCoverage(&res)
+			e.finishStats(cycle + 1)
+			return res, nil
+		}
+		if e.serialEv.n == 0 && e.meshEv.n == 0 &&
+			e.executingCount == 0 && e.serviceCount == 0 {
+			e.finishStats(cycle + 1)
+			return res, fmt.Errorf("sim: %s stalled on %s at mesh cycle %d",
+				m.Signature(), e.cfg.Name, cycle)
+		}
+		cycle++
+		e.meshNow++ // meshTick already advanced at the mesh phase
+	}
+}
