@@ -7,6 +7,9 @@
 //	jfbench -table 22            # one table
 //	jfbench -table 22 -gen 400   # smaller generated population (faster)
 //	jfbench -all -store-dir ./results   # reuse prior runs across invocations
+//	jfbench -all -store-dir ./results -peers http://10.0.0.7:8077 -pull
+//	                             # pull the fleet's warm results first,
+//	                             # compute only what nobody has
 //
 // The population defaults mirror the dissertation: ~1,600 methods, two
 // branch-policy executions each, six machine configurations. With
@@ -16,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +29,7 @@ import (
 	"time"
 
 	"javaflow/internal/experiments"
+	"javaflow/internal/replicate"
 	"javaflow/internal/sim"
 )
 
@@ -41,6 +46,7 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size (1 = serial)")
 		stDir     = flag.String("store-dir", "", "persistent result store directory (empty = recompute everything)")
 		peers     = flag.String("peers", "", "comma-separated jfserved base URLs to dispatch sweeps across (must serve the same -gen/-seed corpus)")
+		pull      = flag.Bool("pull", false, "pull the -peers' warm results into -store-dir (one anti-entropy round), then sweep locally over the warmed store instead of dispatching; the exit report splits pulled vs computed")
 	)
 	flag.Parse()
 
@@ -50,10 +56,17 @@ func main() {
 	ctx.Seed = *seed
 	ctx.MaxMeshCycles = *cycles
 	ctx.Workers = *workers
+	var peerList []string
 	for _, p := range strings.Split(*peers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
-			ctx.Peers = append(ctx.Peers, p)
+			peerList = append(peerList, p)
 		}
+	}
+	// -pull uses the peers as replication sources and sweeps locally over
+	// the warmed store; without it they are dispatch backends (a
+	// dispatched job runs remotely, so pulling first would be pointless).
+	if !*pull {
+		ctx.Peers = peerList
 	}
 
 	// fail closes the store (flushing queued writes) before exiting
@@ -69,6 +82,24 @@ func main() {
 	if *stDir != "" {
 		if err := ctx.OpenStore(*stDir); err != nil {
 			fail(1, "jfbench: %v\n", err)
+		}
+	}
+
+	if *pull {
+		if ctx.Store() == nil || len(peerList) == 0 {
+			fail(2, "jfbench: -pull requires -store-dir and -peers\n")
+		}
+		rep, err := replicate.New(replicate.Options{Store: ctx.Store(), Peers: peerList})
+		if err != nil {
+			fail(1, "jfbench: %v\n", err)
+		}
+		pullCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		err = rep.SyncNow(pullCtx)
+		cancel()
+		if err != nil {
+			// A down peer is not fatal: the sweep still runs, computing
+			// (or dispatching) whatever could not be pulled.
+			fmt.Fprintf(os.Stderr, "jfbench: pull: %v\n", err)
 		}
 	}
 
@@ -182,6 +213,11 @@ func reportStore(ctx *experiments.Context) {
 		"jfbench: store %s — %d/%d runs warm (%.1f%%), %d cold, %d deployments reused, %d records persisted\n",
 		st.Dir(), stats.RunHits, total, 100*float64(stats.RunHits)/float64(total),
 		stats.RunMisses, stats.DeployHits, stats.Records)
+	if stats.IngestedRecords > 0 || stats.IngestSkipped > 0 {
+		fmt.Fprintf(os.Stderr,
+			"jfbench: replicate — %d records pulled from peers (%d offered but already present), %d runs computed this invocation\n",
+			stats.IngestedRecords, stats.IngestSkipped, stats.RunMisses)
+	}
 	if stats.PutErrors > 0 {
 		fmt.Fprintf(os.Stderr,
 			"jfbench: warning: %d store writes failed; results may not be reusable (ctx.Close reports the first error)\n",

@@ -13,6 +13,11 @@
 //	jfserved -store-dir ./results  # persist results across restarts
 //	jfserved -store-dir ./results -compact-threshold 0.5   # auto-compact (sole writer)
 //	jfserved -peers http://10.0.0.7:8077,http://10.0.0.8:8077
+//	jfserved -store-dir ./r1 -peers ... -replicate-interval 15s  # anti-entropy replication
+//
+// With -replicate-interval every peer's segment log is pulled into the
+// local store periodically, so each node ends up serving every warm
+// result the fleet has computed — no shared filesystem needed.
 //
 // Endpoints:
 //
@@ -22,6 +27,7 @@
 //	GET  /v1/configs
 //	GET  /v1/methods
 //	GET  /v1/store    (and POST /v1/store/compact)
+//	GET  /v1/replicate/segments  (and /v1/replicate/segment/{seq}, POST /v1/replicate/sync)
 //	GET  /metrics
 //	GET  /healthz
 package main
@@ -39,6 +45,7 @@ import (
 	"time"
 
 	"javaflow/internal/dispatch"
+	"javaflow/internal/replicate"
 	"javaflow/internal/serve"
 	"javaflow/internal/sim"
 	"javaflow/internal/store"
@@ -59,6 +66,7 @@ func main() {
 		inflight = flag.Int("peer-inflight", 0, "max concurrent jobs per dispatch backend (0 = default)")
 		compact  = flag.Float64("compact-threshold", 0, "auto-compact the store when its garbage ratio reaches this fraction (0 = disabled; sole-writer stores only)")
 		compactI = flag.Duration("compact-interval", serve.DefaultCompactEvery, "how often the auto-compactor checks the garbage ratio")
+		replInt  = flag.Duration("replicate-interval", 0, "pull new store segments from -peers this often (anti-entropy replication; 0 = disabled; requires -peers and -store-dir)")
 	)
 	flag.Parse()
 
@@ -90,13 +98,53 @@ func main() {
 	})
 	svc := serve.NewService(sched, sim.Configurations(), methods)
 
+	logf := func(format string, args ...any) {
+		fmt.Printf("jfserved: "+format+"\n", args...)
+	}
+
+	replicateNote := "no replication"
+	var rep *replicate.Replicator
+	if *replInt > 0 {
+		if st == nil {
+			fatal("jfserved: -replicate-interval requires -store-dir\n")
+		}
+		peerList := splitPeers(*peers)
+		if len(peerList) == 0 {
+			fatal("jfserved: -replicate-interval requires -peers\n")
+		}
+		var err error
+		rep, err = replicate.New(replicate.Options{
+			Store:    st,
+			Peers:    peerList,
+			Interval: *replInt,
+			Logf:     logf,
+		})
+		if err != nil {
+			fatal("jfserved: %v\n", err)
+		}
+		svc.SetReplicator(rep)
+		replicateNote = fmt.Sprintf("replicating from %d peers every %v", len(peerList), *replInt)
+	}
+
 	dispatchNote := "single-node"
 	if *peers != "" {
-		d, err := dispatch.New(dispatch.Options{
+		opts := dispatch.Options{
 			Peers:       splitPeers(*peers),
 			Local:       sched,
 			MaxInflight: *inflight,
-		})
+		}
+		if st != nil {
+			// On a retry after a backend death, serve the job from the
+			// local store when replication (or a past run) already holds
+			// the key — byte-identical, no engine re-run.
+			opts.WarmLocal = func(job serve.Job, maxCycles int) bool {
+				return st.HasRun(store.RunKeyFor(job.Config, job.Method, maxCycles))
+			}
+		}
+		if rep != nil {
+			opts.SyncedPeers = rep.SyncedPeers
+		}
+		d, err := dispatch.New(opts)
 		if err != nil {
 			fatal("jfserved: %v\n", err)
 		}
@@ -114,9 +162,8 @@ func main() {
 		Drain:            *drain,
 		CompactThreshold: *compact,
 		CompactEvery:     *compactI,
-		Logf: func(format string, args ...any) {
-			fmt.Printf("jfserved: "+format+"\n", args...)
-		},
+		Replicator:       rep,
+		Logf:             logf,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -127,8 +174,8 @@ func main() {
 		storeNote = fmt.Sprintf("store %s (%d warm records)", st.Dir(), st.Len())
 	}
 	err := daemon.Run(ctx, func(bound net.Addr) {
-		fmt.Printf("jfserved: %d methods, %d configurations, %d workers, cache %d, %s, %s — listening on %s\n",
-			len(methods), len(svc.Configs()), *workers, *cacheN, storeNote, dispatchNote, bound)
+		fmt.Printf("jfserved: %d methods, %d configurations, %d workers, cache %d, %s, %s, %s — listening on %s\n",
+			len(methods), len(svc.Configs()), *workers, *cacheN, storeNote, dispatchNote, replicateNote, bound)
 	})
 	if err != nil {
 		// The daemon has already flushed and closed the store.

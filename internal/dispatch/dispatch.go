@@ -67,6 +67,21 @@ type Options struct {
 	// ProbeEvery routes every Nth job that would have skipped a suspended
 	// backend to it anyway, so recovered peers rejoin (<=0 uses 64).
 	ProbeEvery int
+	// WarmLocal, when set, reports whether the local persistent store can
+	// already serve job's result warm — e.g. a record anti-entropy
+	// replication (internal/replicate) pulled from the fleet, or one this
+	// node computed before. Consulted after a transient backend failure:
+	// a warm local serve is byte-identical to the dead backend's answer
+	// and skips both the network and the engine. maxCycles arrives
+	// resolved (never 0).
+	WarmLocal func(job serve.Job, maxCycles int) bool
+	// SyncedPeers, when set, lists the backend names (exactly as given in
+	// Peers) whose segment logs this node's replicator has fully caught up
+	// with. On a retry the dispatcher prefers the ring owner among these:
+	// a peer actively exchanging segments holds the fleet's warm results
+	// — including the dead backend's — so the retry is served from its
+	// store instead of re-running the engine on a cold node.
+	SyncedPeers func() []string
 }
 
 // backendState wraps a Backend with its routing health and accounting.
@@ -92,8 +107,13 @@ type Dispatcher struct {
 	failureThreshold int64
 	probeEvery       int64
 
+	warmLocal   func(job serve.Job, maxCycles int) bool
+	syncedPeers func() []string
+
 	localFallbacks atomic.Int64
 	retries        atomic.Int64
+	warmLocalHits  atomic.Int64
+	warmRetries    atomic.Int64
 }
 
 var _ serve.BatchRunner = (*Dispatcher)(nil)
@@ -156,6 +176,8 @@ func NewWithBackends(backends []Backend, opts Options) (*Dispatcher, error) {
 		localSem:         make(chan struct{}, opts.Local.Workers()),
 		failureThreshold: int64(threshold),
 		probeEvery:       int64(probe),
+		warmLocal:        opts.WarmLocal,
+		syncedPeers:      opts.SyncedPeers,
 	}
 	names := make([]string, len(backends))
 	for i, b := range backends {
@@ -262,8 +284,10 @@ func (d *Dispatcher) runLocal(ctx context.Context, job serve.Job, maxCycles int)
 	return d.local.RunMethodCycles(ctx, job.Config, job.Method, maxCycles)
 }
 
-// runJob is the per-job routing policy: ring owner, one retry on the next
-// node clockwise, then the local scheduler.
+// runJob is the per-job routing policy: ring owner, then — after a
+// transient failure — a warm local serve if the store already holds the
+// key, one retry on a replication-synced peer (falling back to the next
+// node clockwise), then the local scheduler.
 func (d *Dispatcher) runJob(ctx context.Context, job serve.Job, maxCycles int) (sim.MethodRun, error) {
 	sig := job.Method.Signature()
 	first := d.route(sig, -1)
@@ -274,7 +298,14 @@ func (d *Dispatcher) runJob(ctx context.Context, job serve.Job, maxCycles int) (
 		}
 		d.retries.Add(1)
 		d.backends[first].retriedAway.Add(1)
-		if second := d.route(sig, first); second >= 0 {
+		// A dead backend's results are not lost to the fleet: replication
+		// pulled its segments here, so a key the fleet ever computed is
+		// served from the local store — byte-identical, no engine run.
+		if d.warmLocal != nil && d.warmLocal(job, maxCycles) {
+			d.warmLocalHits.Add(1)
+			return d.runLocal(ctx, job, maxCycles)
+		}
+		if second := d.routeRetry(sig, first); second >= 0 {
 			run, err = d.attempt(ctx, second, job, maxCycles)
 			if err == nil || !transient(err) {
 				return run, err
@@ -283,6 +314,30 @@ func (d *Dispatcher) runJob(ctx context.Context, job serve.Job, maxCycles int) (
 	}
 	d.localFallbacks.Add(1)
 	return d.runLocal(ctx, job, maxCycles)
+}
+
+// routeRetry picks the second node for a job whose ring owner failed.
+// With a SyncedPeers hook it prefers the ring owner among the peers whose
+// stores replication has caught up with (they hold every warm result the
+// fleet has, including the failed node's); otherwise — or when no synced
+// peer is routable — it is the plain next-node-clockwise policy.
+func (d *Dispatcher) routeRetry(sig string, exclude int) int {
+	if d.syncedPeers != nil {
+		synced := make(map[string]bool)
+		for _, name := range d.syncedPeers() {
+			synced[name] = true
+		}
+		if len(synced) > 0 {
+			i := d.ring.owner(sig, func(i int) bool {
+				return i == exclude || !synced[d.backends[i].b.Name()] || d.suspended(i)
+			})
+			if i >= 0 {
+				d.warmRetries.Add(1)
+				return i
+			}
+		}
+	}
+	return d.route(sig, exclude)
 }
 
 // maxCyclesOrDefault resolves the effective per-execution bound. Remotes
@@ -407,6 +462,12 @@ type Stats struct {
 	Retries int64 `json:"retries"`
 	// LocalFallbacks counts jobs that ended on the in-process scheduler.
 	LocalFallbacks int64 `json:"localFallbacks"`
+	// WarmLocalHits counts retries short-circuited by the local store
+	// already holding the key (replicated or previously computed).
+	WarmLocalHits int64 `json:"warmLocalHits"`
+	// WarmRetries counts retries routed to a replication-synced peer in
+	// preference to the plain next node clockwise.
+	WarmRetries int64 `json:"warmRetries"`
 }
 
 // Stats snapshots the dispatcher's routing counters.
@@ -417,6 +478,8 @@ func (d *Dispatcher) Stats() Stats {
 		VirtualNodes:   len(d.ring.points),
 		Retries:        d.retries.Load(),
 		LocalFallbacks: d.localFallbacks.Load(),
+		WarmLocalHits:  d.warmLocalHits.Load(),
+		WarmRetries:    d.warmRetries.Load(),
 	}
 	for i, bs := range d.backends {
 		s.Backends[i] = BackendStats{

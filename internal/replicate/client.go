@@ -1,0 +1,78 @@
+package replicate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"javaflow/internal/store"
+)
+
+// Manifest is the GET /v1/replicate/segments wire envelope, shared by the
+// serve handler (producer) and this client (consumer).
+type Manifest struct {
+	Segments []store.SegmentInfo `json:"segments"`
+}
+
+// maxSegmentFetch bounds one segment response: segments rotate at 8 MiB
+// by default, so anything near this is a misconfigured peer, not data.
+const maxSegmentFetch = 256 << 20
+
+// maxErrorBody bounds how much of a failed response becomes error text.
+const maxErrorBody = 4 << 10
+
+// get issues one GET against the peer and returns the response on status
+// 200, closing the body on every other path.
+func (r *Replicator) get(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("replicate: %w", err)
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("replicate: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+		resp.Body.Close()
+		msg := strings.TrimSpace(string(data))
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return nil, fmt.Errorf("replicate: %s: status %d: %s", url, resp.StatusCode, msg)
+	}
+	return resp, nil
+}
+
+// fetchManifest polls one peer's segment inventory.
+func (r *Replicator) fetchManifest(ctx context.Context, base string) ([]store.SegmentInfo, error) {
+	resp, err := r.get(ctx, strings.TrimRight(base, "/")+"/v1/replicate/segments")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m Manifest
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("replicate: decoding manifest from %s: %w", base, err)
+	}
+	return m.Segments, nil
+}
+
+// fetchSegment streams segment seq's bytes from offset from to its
+// currently visible end.
+func (r *Replicator) fetchSegment(ctx context.Context, base string, seq int, from int64) ([]byte, error) {
+	url := fmt.Sprintf("%s/v1/replicate/segment/%d?from=%d", strings.TrimRight(base, "/"), seq, from)
+	resp, err := r.get(ctx, url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSegmentFetch))
+	if err != nil {
+		return nil, fmt.Errorf("replicate: reading segment %d from %s: %w", seq, base, err)
+	}
+	return data, nil
+}

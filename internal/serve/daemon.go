@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"javaflow/internal/replicate"
 	"javaflow/internal/store"
 )
 
@@ -54,6 +55,12 @@ type Daemon struct {
 	// CompactEvery is the compactor's check interval (0 uses
 	// DefaultCompactEvery).
 	CompactEvery time.Duration
+	// Replicator, when non-nil, runs its pull-based anti-entropy loop for
+	// the life of the daemon, next to the background compactor. The store
+	// makes the two mutually exclusive per round (a losing Compact or
+	// Ingest returns store.MaintenanceBusyError and retries), so enabling
+	// both on one node is safe.
+	Replicator *replicate.Replicator
 	// Logf, when non-nil, receives operator-facing progress lines
 	// (shutdown began, drain finished, compactions).
 	Logf func(format string, args ...any)
@@ -73,9 +80,11 @@ func (d *Daemon) logf(format string, args ...any) {
 func (d *Daemon) Run(ctx context.Context, ready func(addr net.Addr)) error {
 	srv := NewServer(d.Addr, d.Service)
 	stopCompactor := d.startCompactor()
+	stopReplicator := d.startReplicator()
 	ln, err := net.Listen("tcp", d.Addr)
 	if err != nil {
 		stopCompactor()
+		stopReplicator()
 		return errors.Join(err, d.closeStore())
 	}
 	if ready != nil {
@@ -92,6 +101,7 @@ func (d *Daemon) Run(ctx context.Context, ready func(addr net.Addr)) error {
 			err = nil
 		}
 		stopCompactor()
+		stopReplicator()
 		return errors.Join(err, d.closeStore())
 	case <-ctx.Done():
 	}
@@ -104,11 +114,21 @@ func (d *Daemon) Run(ctx context.Context, ready func(addr net.Addr)) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err = srv.Shutdown(shutdownCtx)
-	// The compactor must be idle before the store closes.
+	// The compactor and replicator must be idle before the store closes.
 	stopCompactor()
+	stopReplicator()
 	// Flush the store even when the drain overran: whatever jobs did
 	// complete must still reach disk.
 	return errors.Join(err, d.closeStore())
+}
+
+// startReplicator launches the anti-entropy pull loop when configured,
+// returning an idempotent stop that waits for any in-flight round.
+func (d *Daemon) startReplicator() func() {
+	if d.Replicator == nil {
+		return func() {}
+	}
+	return d.Replicator.Start()
 }
 
 // startCompactor launches the background compaction loop when configured,

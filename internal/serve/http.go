@@ -6,9 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"strconv"
 	"time"
 
 	"javaflow/internal/fabric"
+	"javaflow/internal/replicate"
+	"javaflow/internal/store"
 )
 
 // maxBodyBytes bounds request bodies; batch requests listing the full
@@ -63,15 +67,18 @@ func (p ErrorPayload) Err() error {
 
 // NewHandler builds the jfserved HTTP API over svc.
 //
-//	POST /v1/run            — one method on one configuration
-//	POST /v1/batch          — population sweep (methods × configs);
-//	                          ?stream=ndjson streams per-job results
-//	GET  /v1/configs        — configuration registry
-//	GET  /v1/methods        — method registry
-//	GET  /v1/store          — persistent-store admin report
-//	POST /v1/store/compact  — fold the store's segments into one
-//	GET  /metrics           — service counters + cache/store/dispatch stats
-//	GET  /healthz           — liveness
+//	POST /v1/run                     — one method on one configuration
+//	POST /v1/batch                   — population sweep (methods × configs);
+//	                                   ?stream=ndjson streams per-job results
+//	GET  /v1/configs                 — configuration registry
+//	GET  /v1/methods                 — method registry
+//	GET  /v1/store                   — persistent-store admin report (+ replication)
+//	POST /v1/store/compact           — fold the store's segments into one
+//	GET  /v1/replicate/segments      — segment manifest for peer pullers
+//	GET  /v1/replicate/segment/{seq} — raw segment frames (?from= resumes)
+//	POST /v1/replicate/sync          — force one anti-entropy round now
+//	GET  /metrics                    — service counters + cache/store/dispatch/replication stats
+//	GET  /healthz                    — liveness
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	metrics := svc.Scheduler().Metrics()
@@ -127,7 +134,95 @@ func NewHandler(svc *Service) http.Handler {
 			})
 			return
 		}
-		writeJSON(w, http.StatusOK, st.Admin())
+		rep := StoreReport{AdminReport: st.Admin()}
+		if rp := svc.Replicator(); rp != nil {
+			stats := rp.Stats()
+			rep.Replication = &stats
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
+
+	// Replication surface. The two GETs export this node's segment log to
+	// peer pullers and need only a store; the POST forces a pull round on
+	// this node's own replicator (tests and ops use it to avoid waiting an
+	// interval).
+	mux.HandleFunc("GET /v1/replicate/segments", func(w http.ResponseWriter, r *http.Request) {
+		st := svc.Scheduler().Store()
+		if st == nil {
+			writeJSON(w, http.StatusNotFound, ErrorPayload{
+				Error: "serve: no persistent store attached (start with -store-dir)",
+				Kind:  ErrKindNotFound,
+			})
+			return
+		}
+		manifest, err := st.Manifest()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, replicate.Manifest{Segments: manifest})
+	})
+
+	mux.HandleFunc("GET /v1/replicate/segment/{seq}", func(w http.ResponseWriter, r *http.Request) {
+		st := svc.Scheduler().Store()
+		if st == nil {
+			writeJSON(w, http.StatusNotFound, ErrorPayload{
+				Error: "serve: no persistent store attached (start with -store-dir)",
+				Kind:  ErrKindNotFound,
+			})
+			return
+		}
+		seq, err := strconv.Atoi(r.PathValue("seq"))
+		if err != nil || seq <= 0 {
+			writeJSON(w, http.StatusBadRequest, ErrorPayload{
+				Error: fmt.Sprintf("serve: bad segment seq %q", r.PathValue("seq")),
+				Kind:  ErrKindInternal,
+			})
+			return
+		}
+		var from int64
+		if q := r.URL.Query().Get("from"); q != "" {
+			from, err = strconv.ParseInt(q, 10, 64)
+			if err != nil || from < 0 {
+				writeJSON(w, http.StatusBadRequest, ErrorPayload{
+					Error: fmt.Sprintf("serve: bad segment offset %q", q),
+					Kind:  ErrKindInternal,
+				})
+				return
+			}
+		}
+		data, visible, err := st.ReadSegmentAt(seq, from)
+		if err != nil {
+			if os.IsNotExist(err) {
+				writeJSON(w, http.StatusNotFound, ErrorPayload{
+					Error: fmt.Sprintf("serve: no segment %d", seq),
+					Kind:  ErrKindNotFound,
+				})
+				return
+			}
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Javaflow-Segment-Visible", strconv.FormatInt(visible, 10))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	})
+
+	mux.HandleFunc("POST /v1/replicate/sync", func(w http.ResponseWriter, r *http.Request) {
+		rp := svc.Replicator()
+		if rp == nil {
+			writeJSON(w, http.StatusNotFound, ErrorPayload{
+				Error: "serve: no replicator attached (start with -peers and -replicate-interval)",
+				Kind:  ErrKindNotFound,
+			})
+			return
+		}
+		if err := rp.SyncNow(r.Context()); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rp.Stats())
 	})
 
 	// Compaction is sole-writer-only (see store.Compact): in a shared
@@ -155,6 +250,10 @@ func NewHandler(svc *Service) http.Handler {
 		if ds, ok := svc.BatchRunner().(DispatchStatser); ok {
 			snap.Dispatch = ds.DispatchStats()
 		}
+		if rp := svc.Replicator(); rp != nil {
+			stats := rp.Stats()
+			snap.Replication = &stats
+		}
 		writeJSON(w, http.StatusOK, snap)
 	})
 
@@ -163,6 +262,13 @@ func NewHandler(svc *Service) http.Handler {
 	})
 
 	return countRequests(metrics, mux)
+}
+
+// StoreReport is the GET /v1/store payload: the store's admin report
+// plus, on a replicating node, the per-peer cursor/sync state.
+type StoreReport struct {
+	store.AdminReport
+	Replication *replicate.Stats `json:"replication,omitempty"`
 }
 
 // DispatchStatser is implemented by batch runners that front multiple

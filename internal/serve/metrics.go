@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"javaflow/internal/replicate"
 	"javaflow/internal/sim"
 	"javaflow/internal/store"
 )
@@ -105,6 +106,9 @@ type MetricsSnapshot struct {
 	// stats when the service fronts remote peers (dispatch.Stats; typed as
 	// any because the dispatch layer builds on serve, not the reverse).
 	Dispatch any `json:"dispatch,omitempty"`
+	// Replication carries the anti-entropy replicator's per-peer cursor
+	// and sync state when this node pulls warm results from peers.
+	Replication *replicate.Stats `json:"replication,omitempty"`
 }
 
 // Snapshot captures the current counters plus the given cache's and

@@ -32,6 +32,7 @@ import (
 
 	"javaflow/internal/classfile"
 	"javaflow/internal/fabric"
+	"javaflow/internal/replicate"
 	"javaflow/internal/sim"
 	"javaflow/internal/stats"
 )
@@ -53,6 +54,7 @@ func (e *NotFoundError) Error() string {
 type Service struct {
 	sched        *Scheduler
 	runner       BatchRunner
+	replicator   *replicate.Replicator
 	configs      []sim.Config
 	configByName map[string]sim.Config
 	methods      []*classfile.Method
@@ -103,6 +105,16 @@ func (s *Service) SetBatchRunner(r BatchRunner) {
 
 // BatchRunner returns the executor requests flow through.
 func (s *Service) BatchRunner() BatchRunner { return s.runner }
+
+// SetReplicator attaches the anti-entropy replicator, enabling POST
+// /v1/replicate/sync and the replication blocks of GET /metrics and GET
+// /v1/store. The segment-export endpoints need only a store, not this.
+// Call before serving traffic.
+func (s *Service) SetReplicator(r *replicate.Replicator) { s.replicator = r }
+
+// Replicator returns the attached replicator (nil when this node does not
+// pull from peers).
+func (s *Service) Replicator() *replicate.Replicator { return s.replicator }
 
 // Configs lists the registered configurations in registry order.
 func (s *Service) Configs() []sim.Config { return s.configs }

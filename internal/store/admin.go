@@ -22,8 +22,12 @@ type GeometryStats struct {
 // other writers created since this store opened. The first two are what a
 // Compact from a sole writer reclaims.
 type AdminReport struct {
-	Dir          string          `json:"dir"`
-	Records      int             `json:"records"`
+	Dir     string `json:"dir"`
+	Records int    `json:"records"`
+	// MetaRecords is how many of Records are node-local bookkeeping
+	// (replication cursors) rather than payload. Meta records never cross
+	// nodes, so fleet convergence is judged on Records - MetaRecords.
+	MetaRecords  int             `json:"metaRecords"`
 	Segments     int             `json:"segments"`
 	DiskBytes    int64           `json:"diskBytes"`
 	LiveBytes    int64           `json:"liveBytes"`
@@ -52,8 +56,13 @@ func (s *Store) Admin() AdminReport {
 	var live int64
 	perGeom := make(map[string]*GeometryStats)
 	records := len(s.index)
+	meta := 0
 	for k, e := range s.index {
 		live += int64(headerSize + len(k) + len(e.val) + trailerSize)
+		if e.typ == recTypeMeta {
+			meta++
+			continue
+		}
 		geom, ok := geometryOf(k)
 		if !ok {
 			continue
@@ -91,6 +100,7 @@ func (s *Store) Admin() AdminReport {
 	rep := AdminReport{
 		Dir:         s.dir,
 		Records:     records,
+		MetaRecords: meta,
 		Segments:    segments,
 		DiskBytes:   disk,
 		LiveBytes:   live,

@@ -132,6 +132,93 @@ func TestStoreSkipsFlippedValueByteMidSegment(t *testing.T) {
 	}
 }
 
+// TestStoreIngestCrashRecovery kills a node "mid-ingest": the destination
+// ingested foreign records and queued its per-peer cursor behind them, but
+// the tail of the append — the final data record and the cursor — never
+// fully reached disk. Reopening must discard the torn foreign tail AND the
+// cursor that would have claimed it (the cursor is appended after the
+// data, so a tear can never keep the claim while losing the goods), and a
+// re-ingest of the same chunk must restore exactly the lost records.
+func TestStoreIngestCrashRecovery(t *testing.T) {
+	srcDir := t.TempDir()
+	keys, _ := writeSeedStore(t, srcDir, 3)
+	src, err := Open(srcDir, Options{})
+	if err != nil {
+		t.Fatalf("reopen src: %v", err)
+	}
+	chunk := exportAll(t, src)
+	src.Close()
+
+	const cursorName = "replcursor|http://peer-a"
+	dstDir := t.TempDir()
+	dst, err := Open(dstDir, Options{})
+	if err != nil {
+		t.Fatalf("open dst: %v", err)
+	}
+	res, err := dst.Ingest(chunk)
+	if err != nil || res.Ingested != 3 {
+		t.Fatalf("ingest = %+v, %v; want 3 ingested", res, err)
+	}
+	// The replicator's cursor write: strictly after the data records.
+	dst.PutMeta(cursorName, MarshalCursor(map[int]int64{1: res.Bytes}))
+	if err := dst.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Tear the destination segment as a crash mid-append would: the cursor
+	// record is last, so cutting back past it also tears the final data
+	// record.
+	seg := filepath.Join(dstDir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read dst segment: %v", err)
+	}
+	cursorLen := len(appendRecord(nil, record{
+		typ: recTypeMeta,
+		key: metaKey(cursorName),
+		val: MarshalCursor(map[int]int64{1: res.Bytes}),
+	}))
+	cut := cursorLen + 10 // the whole cursor plus part of the last data record
+	if cut >= len(data) {
+		t.Fatalf("segment too small to tear (%d bytes, cutting %d)", len(data), cut)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-cut], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	dst2, err := Open(dstDir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after tear: %v", err)
+	}
+	defer dst2.Close()
+	if _, ok := dst2.GetMeta(cursorName); ok {
+		t.Fatal("cursor survived a tear that lost the records it claims")
+	}
+	if _, ok := dst2.GetRun(keys[2]); ok {
+		t.Fatal("torn foreign record served")
+	}
+	for _, k := range keys[:2] {
+		if _, ok := dst2.GetRun(k); !ok {
+			t.Fatalf("durable foreign record %s lost", k.Signature)
+		}
+	}
+
+	// The next anti-entropy round re-fetches from the last durable point
+	// (here: no cursor, the whole chunk) and dedup absorbs the survivors.
+	res, err = dst2.Ingest(chunk)
+	if err != nil {
+		t.Fatalf("re-ingest: %v", err)
+	}
+	if res.Ingested != 1 || res.Skipped != 2 {
+		t.Fatalf("re-ingest = %+v, want exactly the torn record restored", res)
+	}
+	for _, k := range keys {
+		if _, ok := dst2.GetRun(k); !ok {
+			t.Fatalf("record %s missing after recovery round", k.Signature)
+		}
+	}
+}
+
 // TestStoreUndecodableValueIsMiss covers a value that passes the CRC but
 // fails the codec (e.g. written by a future layout): it must read as a
 // miss, not an error.

@@ -7,15 +7,19 @@ import (
 
 // Record framing constants (see the package doc for the full layout).
 const (
-	recordMagic  = "JFS1"
-	headerSize   = 4 + 1 + 4 + 4 // magic, type, key length, value length
-	trailerSize  = 4             // CRC32-C
-	maxKeyBytes  = 1 << 20
-	maxValBytes  = 64 << 20
-	recTypeRun   = 1
-	recTypeDep   = 2
+	recordMagic = "JFS1"
+	headerSize  = 4 + 1 + 4 + 4 // magic, type, key length, value length
+	trailerSize = 4             // CRC32-C
+	maxKeyBytes = 1 << 20
+	maxValBytes = 64 << 20
+	recTypeRun  = 1
+	recTypeDep  = 2
+	// recTypeMeta records node-local bookkeeping (replication cursors).
+	// Meta records live in the same log for the same crash-safety, but are
+	// never exported to peers by Ingest and never count as payload.
+	recTypeMeta  = 3
 	minValidType = recTypeRun
-	maxValidType = recTypeDep
+	maxValidType = recTypeMeta
 )
 
 // castagnoli is the CRC32-C table every record checksum uses.

@@ -123,11 +123,24 @@ type Store struct {
 
 	closed atomic.Bool
 
+	// maintMu makes Compact and Ingest mutually exclusive: both rewrite
+	// segment state, and interleaving would let a compact snapshot race
+	// the foreign records an ingest is still appending. Acquired with
+	// TryLock; the loser gets a typed *MaintenanceBusyError (see
+	// lockMaint) and retries on its next round.
+	maintMu sync.Mutex
+	maintOp atomic.Value // string: which operation holds maintMu
+
+	// manMu guards the sealed-segment manifest cache (see Manifest).
+	manMu    sync.Mutex
+	manCache map[int]manifestEntry
+
 	runHits, runMisses       atomic.Int64
 	deployHits, deployMisses atomic.Int64
 	puts, putErrors          atomic.Int64
 	bytesAppended            atomic.Int64
 	compactions              atomic.Int64
+	ingested, ingestSkipped  atomic.Int64
 	skippedRecords           int64 // set once during Open
 	tornBytes                int64 // set once during Open
 }
@@ -147,6 +160,11 @@ type Stats struct {
 	TornBytes      int64 `json:"tornBytes"`
 	Compactions    int64 `json:"compactions"`
 	BytesAppended  int64 `json:"bytesAppended"`
+	// IngestedRecords / IngestSkipped count replication merges: records
+	// pulled from peers versus records a peer offered that were already
+	// live here (byte-exact dedup on content keys).
+	IngestedRecords int64 `json:"ingestedRecords"`
+	IngestSkipped   int64 `json:"ingestSkipped"`
 }
 
 func segmentName(seq int) string { return fmt.Sprintf("seg-%06d.jfs", seq) }
@@ -275,18 +293,20 @@ func (s *Store) Stats() Stats {
 	segments := s.segCount
 	s.fmu.Unlock()
 	return Stats{
-		RunHits:        s.runHits.Load(),
-		RunMisses:      s.runMisses.Load(),
-		DeployHits:     s.deployHits.Load(),
-		DeployMisses:   s.deployMisses.Load(),
-		Puts:           s.puts.Load(),
-		PutErrors:      s.putErrors.Load(),
-		Records:        records,
-		Segments:       segments,
-		SkippedRecords: s.skippedRecords,
-		TornBytes:      s.tornBytes,
-		Compactions:    s.compactions.Load(),
-		BytesAppended:  s.bytesAppended.Load(),
+		RunHits:         s.runHits.Load(),
+		RunMisses:       s.runMisses.Load(),
+		DeployHits:      s.deployHits.Load(),
+		DeployMisses:    s.deployMisses.Load(),
+		Puts:            s.puts.Load(),
+		PutErrors:       s.putErrors.Load(),
+		Records:         records,
+		Segments:        segments,
+		SkippedRecords:  s.skippedRecords,
+		TornBytes:       s.tornBytes,
+		Compactions:     s.compactions.Load(),
+		BytesAppended:   s.bytesAppended.Load(),
+		IngestedRecords: s.ingested.Load(),
+		IngestSkipped:   s.ingestSkipped.Load(),
 	}
 }
 
@@ -460,6 +480,14 @@ func (s *Store) Compact() error {
 	if s.closed.Load() {
 		return errors.New("store: closed")
 	}
+	// Compact and Ingest are mutually exclusive: whichever starts second
+	// gets a typed *MaintenanceBusyError and retries later instead of
+	// silently interleaving with a segment rewrite.
+	unlock, err := s.lockMaint("compact")
+	if err != nil {
+		return err
+	}
+	defer unlock()
 	// Quiesce the writer so the compacted snapshot includes every record
 	// already accepted by Put.
 	if err := s.Flush(); err != nil {
