@@ -10,6 +10,10 @@
 //	jfbench -all -store-dir ./results -peers http://10.0.0.7:8077 -pull
 //	                             # pull the fleet's warm results first,
 //	                             # compute only what nobody has
+//	jfbench -scenarios           # list the scenario catalog
+//	jfbench -scenario chaos-fleet       # run one scenario bundle
+//	jfbench -scenario-file my.json      # run a user scenario (JSON)
+//	jfbench -sweep-digest        # per-config digests of the legacy sweep path
 //
 // The population defaults mirror the dissertation: ~1,600 methods, two
 // branch-policy executions each, six machine configurations. With
@@ -20,6 +24,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +35,7 @@ import (
 
 	"javaflow/internal/experiments"
 	"javaflow/internal/replicate"
+	"javaflow/internal/scenario"
 	"javaflow/internal/sim"
 )
 
@@ -47,6 +53,10 @@ func main() {
 		stDir     = flag.String("store-dir", "", "persistent result store directory (empty = recompute everything)")
 		peers     = flag.String("peers", "", "comma-separated jfserved base URLs to dispatch sweeps across (must serve the same -gen/-seed corpus)")
 		pull      = flag.Bool("pull", false, "pull the -peers' warm results into -store-dir (one anti-entropy round), then sweep locally over the warmed store instead of dispatching; the exit report splits pulled vs computed")
+		scenName  = flag.String("scenario", "", "run one scenario bundle from the registry (see -scenarios)")
+		scenFile  = flag.String("scenario-file", "", "load, validate and run a user scenario bundle from a JSON file")
+		scenList  = flag.Bool("scenarios", false, "list the scenario catalog and exit")
+		sweepDig  = flag.Bool("sweep-digest", false, "run the legacy hard-coded sweep path and print per-configuration result digests (for catalog-equivalence checks)")
 	)
 	flag.Parse()
 
@@ -101,6 +111,91 @@ func main() {
 			// (or dispatching) whatever could not be pulled.
 			fmt.Fprintf(os.Stderr, "jfbench: pull: %v\n", err)
 		}
+	}
+
+	// The scenario registry resolves catalog entries against the same
+	// -seed/-gen/-maxcycles the legacy sweeps use, so the two paths sweep
+	// identical populations.
+	reg := scenario.NewRegistry(scenario.Defaults{
+		Seed: *seed, GenCount: *gen, MaxMeshCycles: *cycles,
+	})
+
+	if *scenList {
+		for _, name := range reg.Names() {
+			b, err := reg.Get(name)
+			if err != nil {
+				fail(1, "jfbench: %v\n", err)
+			}
+			fmt.Printf("%-20s %-12s %s\n", b.Name, b.Tier, b.Description)
+		}
+		if err := ctx.Close(); err != nil {
+			fail(1, "jfbench: closing store: %v\n", err)
+		}
+		return
+	}
+
+	if *sweepDig {
+		for _, cfg := range sim.Configurations() {
+			cr, err := ctx.SimResults(cfg)
+			if err != nil {
+				fail(1, "jfbench: %v\n", err)
+			}
+			digest, err := scenario.DigestRuns(cr.Runs)
+			if err != nil {
+				fail(1, "jfbench: %v\n", err)
+			}
+			cd := scenario.ConfigDigest{
+				Config: cfg.Name, Methods: len(cr.Runs),
+				Skipped: cr.Skipped, TimedOut: cr.TimedOut, Digest: digest,
+			}
+			fmt.Println(cd.DigestLine())
+		}
+		reportStore(ctx)
+		reportDispatch(ctx)
+		reportEngine(start)
+		if err := ctx.Close(); err != nil {
+			fail(1, "jfbench: closing store: %v\n", err)
+		}
+		return
+	}
+
+	if *scenName != "" || *scenFile != "" {
+		if *scenName != "" && *scenFile != "" {
+			fail(2, "jfbench: -scenario and -scenario-file are mutually exclusive\n")
+		}
+		var bundle *scenario.Bundle
+		var err error
+		if *scenFile != "" {
+			bundle, err = reg.LoadFile(*scenFile)
+		} else {
+			bundle, err = reg.Get(*scenName)
+		}
+		if err != nil {
+			var nf *scenario.NotFoundError
+			if errors.As(err, &nf) {
+				fail(2, "jfbench: %v (use -scenarios to list the catalog)\n", err)
+			}
+			fail(2, "jfbench: %v\n", err)
+		}
+		resolved, err := bundle.Resolve(reg.Defaults())
+		if err != nil {
+			fail(2, "jfbench: %v\n", err)
+		}
+		report, err := ctx.RunScenario(resolved)
+		if err != nil {
+			fail(1, "jfbench: %v\n", err)
+		}
+		fmt.Print(report.Render())
+		reportStore(ctx)
+		reportDispatch(ctx)
+		reportEngine(start)
+		if err := ctx.Close(); err != nil {
+			fail(1, "jfbench: closing store: %v\n", err)
+		}
+		if !report.Passed {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *ablations {

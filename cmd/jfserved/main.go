@@ -24,8 +24,10 @@
 //	POST /v1/run      {"config":"Hetero2","method":"scimark/fft/FFT.bitreverse/1"}
 //	POST /v1/batch    {"configs":["Baseline"],"summaryOnly":true}
 //	POST /v1/batch?stream=ndjson    (per-job results as they complete)
+//	POST /v1/batch    {"scenario":"chapter7","summaryOnly":true}   (scenario-keyed)
 //	GET  /v1/configs
 //	GET  /v1/methods
+//	GET  /v1/scenarios  (and /v1/scenarios/{name})
 //	GET  /v1/store    (and POST /v1/store/compact)
 //	GET  /v1/replicate/segments  (and /v1/replicate/segment/{seq}, POST /v1/replicate/sync)
 //	GET  /metrics
@@ -46,6 +48,7 @@ import (
 
 	"javaflow/internal/dispatch"
 	"javaflow/internal/replicate"
+	"javaflow/internal/scenario"
 	"javaflow/internal/serve"
 	"javaflow/internal/sim"
 	"javaflow/internal/store"
@@ -97,6 +100,12 @@ func main() {
 		Store:         st,
 	})
 	svc := serve.NewService(sched, sim.Configurations(), methods)
+	// Scenario catalog entries resolve against this node's own corpus
+	// parameters, so scenario-keyed batches sweep exactly the methods the
+	// daemon serves.
+	svc.SetScenarios(scenario.NewRegistry(scenario.Defaults{
+		Seed: *seed, GenCount: *gen, MaxMeshCycles: *cycles,
+	}))
 
 	logf := func(format string, args ...any) {
 		fmt.Printf("jfserved: "+format+"\n", args...)

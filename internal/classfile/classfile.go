@@ -216,6 +216,9 @@ type Class struct {
 	StaticSlots int
 	// InstanceSlots sizes objects instantiated from this class.
 	InstanceSlots int
+	// order remembers Add insertion order so MethodNames is deterministic
+	// without re-sorting on every traversal.
+	order []string
 }
 
 // NewClass returns an empty class.
@@ -226,8 +229,20 @@ func NewClass(name string) *Class {
 // Add registers a method with the class, setting its Class name.
 func (c *Class) Add(m *Method) *Class {
 	m.Class = c.Name
+	if _, exists := c.Methods[m.Name]; !exists {
+		c.order = append(c.order, m.Name)
+	}
 	c.Methods[m.Name] = m
 	return c
+}
+
+// MethodNames returns the method names in insertion order. Builders that add
+// methods in a canonical order (the generated corpus adds m0000, m0001, ...)
+// get deterministic traversal without re-sorting the map on every call.
+func (c *Class) MethodNames() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
 }
 
 // Method looks up a method by bare name.

@@ -4,15 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http/httptest"
 	"reflect"
-	"sync/atomic"
 	"testing"
 	"time"
 
 	"javaflow/internal/classfile"
 	"javaflow/internal/fabric"
+	"javaflow/internal/scenario/chaos"
 	"javaflow/internal/serve"
 	"javaflow/internal/sim"
 	"javaflow/internal/workload"
@@ -209,34 +208,14 @@ func TestDispatchBackendDownAtStart(t *testing.T) {
 	}
 }
 
-// flakyBackend proxies to a real backend, failing every call after
-// failAfter successes (failAfter < 0 never fails until dead is set) — a
-// peer dying mid-batch.
-type flakyBackend struct {
-	inner     Backend
-	failAfter int64
-	calls     atomic.Int64
-	dead      atomic.Bool
-}
-
-func (f *flakyBackend) Name() string { return f.inner.Name() }
-
-func (f *flakyBackend) Run(ctx context.Context, job serve.Job, maxCycles int) (sim.MethodRun, error) {
-	n := f.calls.Add(1)
-	if f.dead.Load() || (f.failAfter >= 0 && n > f.failAfter) {
-		return sim.MethodRun{}, fmt.Errorf("flaky: %s is dead", f.Name())
-	}
-	return f.inner.Run(ctx, job, maxCycles)
-}
-
 // partitionCorpus is the method pool partitionByOwner draws from: the
 // named corpus plus a generated tranche, so each backend owns enough
 // signatures no matter how the ring hashes its (ephemeral-port) names.
 func partitionCorpus() []*classfile.Method {
 	methods := workload.NamedMethods()
 	for _, c := range workload.Generate(workload.GenConfig{Seed: 11, Count: 40}) {
-		for _, m := range c.Methods {
-			methods = append(methods, m)
+		for _, n := range c.MethodNames() {
+			methods = append(methods, c.Methods[n])
 		}
 	}
 	return methods
@@ -272,8 +251,9 @@ func TestDispatchBackendDiesMidBatch(t *testing.T) {
 	corpus := partitionCorpus()
 	ts1, _ := newPeer(t, corpus)
 	ts2, _ := newPeer(t, corpus)
-	// The flaky backend serves its first job, then dies.
-	flaky := &flakyBackend{inner: NewRemote(ts2.URL, nil), failAfter: 1}
+	// The flaky backend serves its first job, then dies. The injector is
+	// the scenario harness's: the same machinery `jfbench -scenario` runs.
+	flaky := &chaos.FlakyBackend{Inner: NewRemote(ts2.URL, nil), FailAfter: 1}
 
 	d, err := NewWithBackends([]Backend{NewRemote(ts1.URL, nil), flaky}, Options{
 		Local: newLocalScheduler(),
@@ -503,8 +483,8 @@ func TestDispatchSelfPeerDoesNotRecurse(t *testing.T) {
 func TestDispatchSuspensionAndProbe(t *testing.T) {
 	methods := testMethods(t, 6)
 	ts, _ := newPeer(t, methods)
-	flaky := &flakyBackend{inner: NewRemote(ts.URL, nil), failAfter: -1}
-	flaky.dead.Store(true)
+	flaky := &chaos.FlakyBackend{Inner: NewRemote(ts.URL, nil), FailAfter: -1}
+	flaky.Kill()
 
 	d, err := NewWithBackends([]Backend{flaky}, Options{
 		Local:            newLocalScheduler(),
@@ -528,7 +508,7 @@ func TestDispatchSuspensionAndProbe(t *testing.T) {
 	errsAtSuspend := d.Stats().Backends[0].Errors
 
 	// While suspended, most jobs skip it entirely (no new errors)...
-	flaky.dead.Store(false)
+	flaky.Revive()
 	for i := 0; i < 10; i++ {
 		runOne()
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"javaflow/internal/classfile"
+	"javaflow/internal/scenario/chaos"
 	"javaflow/internal/serve"
 	"javaflow/internal/sim"
 	"javaflow/internal/store"
@@ -47,8 +48,8 @@ func TestDispatchWarmLocalRetryServesFromStore(t *testing.T) {
 	}
 	missesAfterSeed := st.Stats().RunMisses
 
-	dead := &flakyBackend{inner: NewRemote("http://192.0.2.1:1", nil), failAfter: -1}
-	dead.dead.Store(true)
+	dead := &chaos.FlakyBackend{Inner: NewRemote("http://192.0.2.1:1", nil), FailAfter: -1}
+	dead.Kill()
 	d, err := NewWithBackends([]Backend{dead}, Options{
 		Local: sched,
 		WarmLocal: func(job serve.Job, maxCycles int) bool {
@@ -85,8 +86,8 @@ func TestDispatchRetryPrefersSyncedPeer(t *testing.T) {
 	corpus := partitionCorpus()
 	ts2, _ := newPeer(t, corpus)
 	ts3, _ := newPeer(t, corpus)
-	dead := &flakyBackend{inner: NewRemote("http://192.0.2.1:1", nil), failAfter: -1}
-	dead.dead.Store(true)
+	dead := &chaos.FlakyBackend{Inner: NewRemote("http://192.0.2.1:1", nil), FailAfter: -1}
+	dead.Kill()
 	b2 := NewRemote(ts2.URL, nil)
 	b3 := NewRemote(ts3.URL, nil)
 

@@ -8,14 +8,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"os"
-	"path/filepath"
 	"strings"
-	"sync/atomic"
 	"testing"
 
 	"javaflow/internal/classfile"
 	"javaflow/internal/replicate"
+	"javaflow/internal/scenario/chaos"
+	"javaflow/internal/scenario/chaosfs"
 	"javaflow/internal/serve"
 	"javaflow/internal/sim"
 	"javaflow/internal/store"
@@ -312,20 +311,13 @@ func TestCrashMidIngestReplaysFromDurableCursor(t *testing.T) {
 
 	// Crash: tear the tail of the destination's only segment — the cursor
 	// record (appended last) plus part of the final ingested record.
-	segs, err := filepath.Glob(filepath.Join(dstDir, "seg-*.jfs"))
-	if err != nil || len(segs) == 0 {
+	seg, err := chaosfs.LastSegment(dstDir)
+	if err != nil {
 		t.Fatalf("no destination segments: %v", err)
 	}
-	seg := segs[0]
-	data, err := os.ReadFile(seg)
-	if err != nil {
-		t.Fatalf("read: %v", err)
-	}
-	cut := 160 // past the ~100-byte cursor record, into the last data record
-	if cut >= len(data) {
-		t.Fatalf("segment too small (%d bytes) for a %d-byte tear", len(data), cut)
-	}
-	if err := os.WriteFile(seg, data[:len(data)-cut], 0o644); err != nil {
+	// 160 bytes reaches past the ~100-byte cursor record, into the last
+	// data record.
+	if err := chaosfs.TruncateTail(seg, 160); err != nil {
 		t.Fatalf("truncate: %v", err)
 	}
 
@@ -393,17 +385,15 @@ func TestPartialRoundKeepsCursorProgress(t *testing.T) {
 	}
 	lastSeq := manifest[len(manifest)-1].Seq
 
-	// Serve the source through a handler that can fail the last segment.
+	// Serve the source through a flap gate that can fail the last segment.
 	sched := serve.NewScheduler(serve.SchedulerOptions{Workers: 1, MaxMeshCycles: testMaxCycles, Store: src})
-	inner := serve.NewHandler(serve.NewService(sched, sim.Configurations(), nil))
-	var failLast atomic.Bool
-	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if failLast.Load() && r.URL.Path == fmt.Sprintf("/v1/replicate/segment/%d", lastSeq) {
-			http.Error(w, "injected failure", http.StatusInternalServerError)
-			return
-		}
-		inner.ServeHTTP(w, r)
-	}))
+	gate := &chaos.FlapGate{
+		Inner: serve.NewHandler(serve.NewService(sched, sim.Configurations(), nil)),
+		Match: func(r *http.Request) bool {
+			return r.URL.Path == fmt.Sprintf("/v1/replicate/segment/%d", lastSeq)
+		},
+	}
+	ts := httptest.NewServer(gate)
 	t.Cleanup(ts.Close)
 
 	dst, err := store.Open(t.TempDir(), store.Options{})
@@ -413,9 +403,12 @@ func TestPartialRoundKeepsCursorProgress(t *testing.T) {
 	defer dst.Close()
 	r := newReplicator(t, dst, ts.URL)
 
-	failLast.Store(true)
+	gate.Down()
 	if err := r.SyncNow(context.Background()); err == nil {
 		t.Fatal("sync succeeded despite the injected segment failure")
+	}
+	if gate.Faults() == 0 {
+		t.Fatal("flap gate never rejected the targeted segment fetch")
 	}
 	s1 := r.Stats().Peers[0]
 	if s1.BytesFetched == 0 || s1.CaughtUp || s1.LastError == "" {
@@ -425,7 +418,7 @@ func TestPartialRoundKeepsCursorProgress(t *testing.T) {
 		t.Fatal("partial progress was not persisted")
 	}
 
-	failLast.Store(false)
+	gate.Up()
 	syncNow(t, r)
 	s2 := r.Stats().Peers[0]
 	// The recovery round must fetch only the failed tail, not re-download

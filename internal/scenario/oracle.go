@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"fmt"
+
+	"javaflow/internal/classfile"
+	"javaflow/internal/sim"
+	"javaflow/internal/workload"
+)
+
+// RunOracle executes a differential-oracle tier: a seeded property-generated
+// corpus is deployed onto every selected fabric and simulated by both engine
+// loops — the event-driven core (Engine.Run) and the reference cycle loop
+// (Engine.RunReference) — under both branch policies. Any divergence in
+// Result structs or error text is a mismatch. This is the PR 4 differential
+// invariant promoted from a test into schedulable scenario machinery.
+func RunOracle(spec OracleSpec) (*OracleReport, error) {
+	configs, err := configsByName(spec.Configs)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: oracle: %w", err)
+	}
+	maxCycles := spec.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 60_000
+	}
+
+	var methods []*classfile.Method
+	for _, cls := range workload.Generate(workload.GenConfig{Seed: spec.Seed, Count: spec.Count}) {
+		for _, n := range cls.MethodNames() {
+			methods = append(methods, cls.Methods[n])
+		}
+	}
+
+	rep := &OracleReport{}
+	for _, cfg := range configs {
+		for _, m := range methods {
+			res, err := sim.DeployMethod(cfg, m)
+			if err != nil {
+				rep.Skipped++ // ineligible for this fabric (Filter 1 etc.)
+				continue
+			}
+			for _, policy := range []sim.BranchPolicy{sim.BP1, sim.BP2} {
+				rep.Cells++
+				newEngine := func() *sim.Engine {
+					eng := sim.NewEngine(cfg, res, policy)
+					eng.SetMaxCycles(maxCycles)
+					if spec.Folding {
+						eng.EnableFolding()
+					}
+					if spec.QuiesceFor > 0 {
+						eng.ScheduleQuiesce(spec.QuiesceAt, spec.QuiesceFor)
+					}
+					return eng
+				}
+				ev, evErr := newEngine().Run()
+				rf, rfErr := newEngine().RunReference()
+				if detail, ok := diverged(m.Signature(), cfg.Name, policy, ev, rf, evErr, rfErr); !ok {
+					rep.Mismatches++
+					if rep.Detail == "" {
+						rep.Detail = detail
+					}
+				}
+			}
+		}
+	}
+	rep.Passed = rep.Mismatches == 0
+	return rep, nil
+}
+
+func diverged(sig, cfg string, p sim.BranchPolicy, ev, rf sim.Result, evErr, rfErr error) (string, bool) {
+	cell := fmt.Sprintf("%s/%s/%s", sig, cfg, p)
+	if (evErr == nil) != (rfErr == nil) {
+		return fmt.Sprintf("%s: error divergence: event=%v reference=%v", cell, evErr, rfErr), false
+	}
+	if evErr != nil {
+		if evErr.Error() != rfErr.Error() {
+			return fmt.Sprintf("%s: error text divergence: event=%v reference=%v", cell, evErr, rfErr), false
+		}
+		return "", true
+	}
+	if ev != rf {
+		return fmt.Sprintf("%s: result divergence: event=%+v reference=%+v", cell, ev, rf), false
+	}
+	return "", true
+}

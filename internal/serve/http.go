@@ -72,6 +72,8 @@ func (p ErrorPayload) Err() error {
 //	                                   ?stream=ndjson streams per-job results
 //	GET  /v1/configs                 — configuration registry
 //	GET  /v1/methods                 — method registry
+//	GET  /v1/scenarios               — scenario catalog (list)
+//	GET  /v1/scenarios/{name}        — one scenario bundle (describe)
 //	GET  /v1/store                   — persistent-store admin report (+ replication)
 //	POST /v1/store/compact           — fold the store's segments into one
 //	GET  /v1/replicate/segments      — segment manifest for peer pullers
@@ -123,6 +125,19 @@ func NewHandler(svc *Service) http.Handler {
 
 	mux.HandleFunc("GET /v1/methods", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.MethodInfos())
+	})
+
+	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.ScenarioInfos())
+	})
+
+	mux.HandleFunc("GET /v1/scenarios/{name}", func(w http.ResponseWriter, r *http.Request) {
+		b, err := svc.Scenario(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, b)
 	})
 
 	mux.HandleFunc("GET /v1/store", func(w http.ResponseWriter, r *http.Request) {
@@ -331,16 +346,19 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 // writeError maps service errors to HTTP statuses: unknown names are 404,
-// fabric-rejected methods 422, cancelled requests 499-style 503, anything
-// else 500. The payload carries a machine-readable kind (and, for
+// malformed request shapes 400, fabric-rejected methods 422, cancelled
+// requests 499-style 503, anything else 500. The payload carries a machine-readable kind (and, for
 // rejections, the structured LoadError fields) so dispatch fronts can
 // rehydrate typed errors.
 func writeError(w http.ResponseWriter, err error) {
 	var nf *NotFoundError
+	var br *BadRequestError
 	var le *fabric.LoadError
 	switch {
 	case errors.As(err, &nf):
 		writeJSON(w, http.StatusNotFound, ErrorPayload{Error: nf.Error(), Kind: ErrKindNotFound})
+	case errors.As(err, &br):
+		writeJSON(w, http.StatusBadRequest, ErrorPayload{Error: br.Error(), Kind: ErrKindInternal})
 	case errors.As(err, &le):
 		writeJSON(w, http.StatusUnprocessableEntity, ErrorPayload{
 			Error: le.Error(), Kind: ErrKindRejected, Method: le.Method, Reason: le.Reason,

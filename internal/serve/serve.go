@@ -33,6 +33,7 @@ import (
 	"javaflow/internal/classfile"
 	"javaflow/internal/fabric"
 	"javaflow/internal/replicate"
+	"javaflow/internal/scenario"
 	"javaflow/internal/sim"
 	"javaflow/internal/stats"
 )
@@ -40,13 +41,22 @@ import (
 // NotFoundError reports a lookup against the registry that failed; the
 // HTTP layer maps it to 404.
 type NotFoundError struct {
-	Kind string // "method" or "config"
+	Kind string // "method", "config" or "scenario"
 	Name string
 }
 
 func (e *NotFoundError) Error() string {
 	return fmt.Sprintf("serve: no %s %q", e.Kind, e.Name)
 }
+
+// BadRequestError reports a request the client must reshape (e.g. a
+// scenario key combined with explicit sweep lists); the HTTP layer maps it
+// to 400.
+type BadRequestError struct {
+	Msg string
+}
+
+func (e *BadRequestError) Error() string { return e.Msg }
 
 // Service binds a scheduler to a fixed registry of configurations and a
 // method population, resolving the name-based requests the HTTP API speaks
@@ -55,6 +65,7 @@ type Service struct {
 	sched        *Scheduler
 	runner       BatchRunner
 	replicator   *replicate.Replicator
+	scenarios    *scenario.Registry
 	configs      []sim.Config
 	configByName map[string]sim.Config
 	methods      []*classfile.Method
@@ -115,6 +126,27 @@ func (s *Service) SetReplicator(r *replicate.Replicator) { s.replicator = r }
 // Replicator returns the attached replicator (nil when this node does not
 // pull from peers).
 func (s *Service) Replicator() *replicate.Replicator { return s.replicator }
+
+// SetScenarios attaches the scenario registry, enabling GET /v1/scenarios
+// and scenario-keyed batch submission. Call before serving traffic.
+func (s *Service) SetScenarios(r *scenario.Registry) { s.scenarios = r }
+
+// Scenarios returns the attached scenario registry (nil when the daemon was
+// started without one).
+func (s *Service) Scenarios() *scenario.Registry { return s.scenarios }
+
+// Scenario resolves one bundle by name, mapping registry misses (and a
+// missing registry) to the HTTP layer's 404 shape.
+func (s *Service) Scenario(name string) (*scenario.Bundle, error) {
+	if s.scenarios == nil {
+		return nil, &NotFoundError{Kind: "scenario", Name: name}
+	}
+	b, err := s.scenarios.Get(name)
+	if err != nil {
+		return nil, &NotFoundError{Kind: "scenario", Name: name}
+	}
+	return b, nil
+}
 
 // Configs lists the registered configurations in registry order.
 func (s *Service) Configs() []sim.Config { return s.configs }
@@ -205,11 +237,56 @@ func (s *Service) RunLocal(ctx context.Context, configName, signature string, ma
 type BatchRequest struct {
 	Configs []string `json:"configs"`
 	Methods []string `json:"methods"`
-	// MaxMeshCycles bounds each execution (0 = scheduler default).
+	// Scenario keys the sweep by a registered scenario bundle instead of
+	// explicit config/method lists (which must then be empty): the bundle's
+	// resolved workload and configurations become the sweep.
+	Scenario string `json:"scenario,omitempty"`
+	// MaxMeshCycles bounds each execution (0 = scheduler default, or the
+	// scenario's resolved bound when Scenario is set).
 	MaxMeshCycles int `json:"maxMeshCycles"`
 	// SummaryOnly drops the per-run payloads from the response, keeping
 	// only the aggregate rows (full sweeps are ~19k runs).
 	SummaryOnly bool `json:"summaryOnly"`
+}
+
+// resolveScenario rewrites a scenario-keyed request into the explicit form:
+// the bundle's configurations and method signatures, resolved against this
+// node's registry. Methods outside the node's corpus are an error — the
+// caller's scenario assumes a population this daemon does not serve.
+func (s *Service) resolveScenario(req BatchRequest) (BatchRequest, error) {
+	if req.Scenario == "" {
+		return req, nil
+	}
+	if len(req.Configs) > 0 || len(req.Methods) > 0 {
+		return req, &BadRequestError{Msg: fmt.Sprintf(
+			"serve: batch request cannot combine scenario %q with explicit configs or methods", req.Scenario)}
+	}
+	if s.scenarios == nil {
+		return req, &NotFoundError{Kind: "scenario", Name: req.Scenario}
+	}
+	resolved, err := s.scenarios.Resolve(req.Scenario)
+	if err != nil {
+		var nf *scenario.NotFoundError
+		if errors.As(err, &nf) {
+			return req, &NotFoundError{Kind: "scenario", Name: nf.Name}
+		}
+		return req, err
+	}
+	for _, cfg := range resolved.Configs {
+		req.Configs = append(req.Configs, cfg.Name)
+	}
+	for _, m := range resolved.Methods {
+		sig := m.Signature()
+		if _, ok := s.methodBySig[sig]; !ok {
+			return req, &BadRequestError{Msg: fmt.Sprintf(
+				"serve: scenario %q method %s is not in this node's corpus (check -seed/-gen)", req.Scenario, sig)}
+		}
+		req.Methods = append(req.Methods, sig)
+	}
+	if req.MaxMeshCycles == 0 {
+		req.MaxMeshCycles = resolved.MaxMeshCycles
+	}
+	return req, nil
 }
 
 // ConfigSummary aggregates one configuration's sweep the way the
@@ -261,6 +338,10 @@ func (s *Service) sweepJobs(req BatchRequest) ([]sim.Config, []*classfile.Method
 // configuration — whether the jobs ran locally or were dispatched across
 // remote backends.
 func (s *Service) Batch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	req, err := s.resolveScenario(req)
+	if err != nil {
+		return BatchResponse{}, err
+	}
 	configs, methods, jobs, err := s.sweepJobs(req)
 	if err != nil {
 		return BatchResponse{}, err
@@ -313,6 +394,10 @@ type StreamEvent struct {
 // streaming changes delivery, never content. An emit error (a client that
 // went away) aborts the stream.
 func (s *Service) BatchStream(ctx context.Context, req BatchRequest, emit func(StreamEvent) error) error {
+	req, err := s.resolveScenario(req)
+	if err != nil {
+		return err
+	}
 	configs, methods, jobs, err := s.sweepJobs(req)
 	if err != nil {
 		return err
@@ -427,6 +512,48 @@ func (s *Service) MethodInfos() []MethodInfo {
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Signature < out[j].Signature })
+	return out
+}
+
+// ScenarioInfo is the GET /v1/scenarios row: enough to pick a scenario
+// without fetching the full bundle.
+type ScenarioInfo struct {
+	Name        string               `json:"name"`
+	Description string               `json:"description,omitempty"`
+	Tier        scenario.Tier        `json:"tier"`
+	Suites      []string             `json:"suites,omitempty"`
+	Generated   bool                 `json:"generated"`
+	Configs     []string             `json:"configs,omitempty"` // empty = all
+	Faults      []scenario.FaultKind `json:"faults,omitempty"`
+	Oracle      bool                 `json:"oracle"`
+}
+
+// ScenarioInfos lists the registered scenarios in catalog order (empty
+// when no registry is attached).
+func (s *Service) ScenarioInfos() []ScenarioInfo {
+	out := []ScenarioInfo{}
+	if s.scenarios == nil {
+		return out
+	}
+	for _, name := range s.scenarios.Names() {
+		b, err := s.scenarios.Get(name)
+		if err != nil {
+			continue
+		}
+		info := ScenarioInfo{
+			Name:        b.Name,
+			Description: b.Description,
+			Tier:        b.Tier,
+			Suites:      b.Workload.Suites,
+			Generated:   b.Workload.Generated != nil,
+			Configs:     b.Configs,
+			Oracle:      b.Oracle != nil,
+		}
+		for _, f := range b.Faults {
+			info.Faults = append(info.Faults, f.Kind)
+		}
+		out = append(out, info)
+	}
 	return out
 }
 

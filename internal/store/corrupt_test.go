@@ -2,9 +2,10 @@ package store
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"testing"
+
+	"javaflow/internal/scenario/chaosfs"
 )
 
 // writeSeedStore populates a fresh store with n run records and returns
@@ -36,11 +37,7 @@ func TestStoreRecoversFromTruncatedSegment(t *testing.T) {
 
 	// Tear the final record as a crash mid-append would: keep its header
 	// but lose part of its body and the checksum.
-	data, err := os.ReadFile(seg)
-	if err != nil {
-		t.Fatalf("read segment: %v", err)
-	}
-	if err := os.WriteFile(seg, data[:len(data)-10], 0o644); err != nil {
+	if err := chaosfs.TruncateTail(seg, 10); err != nil {
 		t.Fatalf("truncate: %v", err)
 	}
 
@@ -70,13 +67,8 @@ func TestStoreSkipsChecksumFlippedRecord(t *testing.T) {
 	// Flip one bit in the final record's CRC trailer: the frame stays
 	// parseable, the checksum fails, and replay must skip exactly that
 	// record while keeping the ones before it.
-	data, err := os.ReadFile(seg)
-	if err != nil {
-		t.Fatalf("read segment: %v", err)
-	}
-	data[len(data)-1] ^= 0x40
-	if err := os.WriteFile(seg, data, 0o644); err != nil {
-		t.Fatalf("rewrite: %v", err)
+	if err := chaosfs.FlipByte(seg, -1, 0x40); err != nil {
+		t.Fatalf("flip CRC byte: %v", err)
 	}
 
 	st, err := Open(dir, Options{})
@@ -104,14 +96,9 @@ func TestStoreSkipsFlippedValueByteMidSegment(t *testing.T) {
 
 	// Corrupt a byte inside the FIRST record's value: replay must skip it
 	// and still deliver both later records.
-	data, err := os.ReadFile(seg)
-	if err != nil {
-		t.Fatalf("read segment: %v", err)
-	}
 	firstKey := keys[0].encode()
-	data[headerSize+len(firstKey)+4] ^= 0xFF
-	if err := os.WriteFile(seg, data, 0o644); err != nil {
-		t.Fatalf("rewrite: %v", err)
+	if err := chaosfs.FlipByte(seg, headerSize+len(firstKey)+4, 0xFF); err != nil {
+		t.Fatalf("flip value byte: %v", err)
 	}
 
 	st, err := Open(dir, Options{})
@@ -169,20 +156,13 @@ func TestStoreIngestCrashRecovery(t *testing.T) {
 	// record is last, so cutting back past it also tears the final data
 	// record.
 	seg := filepath.Join(dstDir, segmentName(1))
-	data, err := os.ReadFile(seg)
-	if err != nil {
-		t.Fatalf("read dst segment: %v", err)
-	}
 	cursorLen := len(appendRecord(nil, record{
 		typ: recTypeMeta,
 		key: metaKey(cursorName),
 		val: MarshalCursor(map[int]int64{1: res.Bytes}),
 	}))
 	cut := cursorLen + 10 // the whole cursor plus part of the last data record
-	if cut >= len(data) {
-		t.Fatalf("segment too small to tear (%d bytes, cutting %d)", len(data), cut)
-	}
-	if err := os.WriteFile(seg, data[:len(data)-cut], 0o644); err != nil {
+	if err := chaosfs.TruncateTail(seg, cut); err != nil {
 		t.Fatalf("truncate: %v", err)
 	}
 

@@ -41,16 +41,38 @@ func TestGenerateDeterministic(t *testing.T) {
 func flatten(classes []*classfile.Class) []*classfile.Method {
 	var out []*classfile.Method
 	for _, c := range classes {
-		names := make([]string, 0, len(c.Methods))
-		for n := range c.Methods {
-			names = append(names, n)
-		}
-		sortStrings(names)
-		for _, n := range names {
+		for _, n := range c.MethodNames() {
 			out = append(out, c.Methods[n])
 		}
 	}
 	return out
+}
+
+// TestCorpusDeterministicAcrossCalls pins the satellite fix: the same seed
+// must yield an identical signature list on every call, with generated
+// classes traversed in insertion order (which Generate guarantees is also
+// lexical order).
+func TestCorpusDeterministicAcrossCalls(t *testing.T) {
+	a := Corpus(2014, 120)
+	b := Corpus(2014, 120)
+	if len(a) != len(b) {
+		t.Fatalf("corpus lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Signature() != b[i].Signature() {
+			t.Fatalf("corpus order diverges at %d: %s vs %s", i, a[i].Signature(), b[i].Signature())
+		}
+	}
+	for _, c := range Generate(GenConfig{Seed: 2014, Count: 120}) {
+		names := c.MethodNames()
+		sorted := append([]string(nil), names...)
+		sortStrings(sorted)
+		for i := range names {
+			if names[i] != sorted[i] {
+				t.Fatalf("class %s insertion order is not lexical at %d: %s", c.Name, i, names[i])
+			}
+		}
+	}
 }
 
 func TestGenerateAllVerifyAndRun(t *testing.T) {

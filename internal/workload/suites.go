@@ -1,8 +1,6 @@
 package workload
 
 import (
-	"sort"
-
 	"javaflow/internal/classfile"
 )
 
@@ -32,18 +30,14 @@ func SuitesByEra() (jvm2008, jvm98 []*Suite) {
 
 // Corpus assembles the full simulation population the Chapter-7 sweeps
 // study: every named SPEC-analog method followed by the seeded generated
-// corpus, methods within each generated class in signature order. Both
-// experiments.Context and the jfserved daemon build their population here,
-// so the two always agree method for method.
+// corpus, methods within each generated class in generation order (Generate
+// emits m0000, m0001, ... so insertion order is already signature order).
+// Both experiments.Context and the jfserved daemon build their population
+// here, so the two always agree method for method.
 func Corpus(seed int64, genCount int) []*classfile.Method {
 	methods := NamedMethods()
 	for _, cls := range Generate(GenConfig{Seed: seed, Count: genCount}) {
-		names := make([]string, 0, len(cls.Methods))
-		for n := range cls.Methods {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
+		for _, n := range cls.MethodNames() {
 			methods = append(methods, cls.Methods[n])
 		}
 	}
