@@ -14,10 +14,15 @@
 //	jfserved -store-dir ./results -compact-threshold 0.5   # auto-compact (sole writer)
 //	jfserved -peers http://10.0.0.7:8077,http://10.0.0.8:8077
 //	jfserved -store-dir ./r1 -peers ... -replicate-interval 15s  # anti-entropy replication
+//	jfserved -store-dir ./r1 -peers ... -replicate-interval 1h -gossip-fanout 3
 //
 // With -replicate-interval every peer's segment log is pulled into the
 // local store periodically, so each node ends up serving every warm
-// result the fleet has computed — no shared filesystem needed.
+// result the fleet has computed — no shared filesystem needed. Unless
+// -gossip-disable is set, replication also pushes: a node that commits
+// new results notifies a few random peers immediately (POST
+// /v1/replicate/notify), so warm convergence is sub-second and the
+// periodic pull is just the repair path — it can be set very long.
 //
 // Endpoints:
 //
@@ -30,6 +35,7 @@
 //	GET  /v1/scenarios  (and /v1/scenarios/{name})
 //	GET  /v1/store    (and POST /v1/store/compact)
 //	GET  /v1/replicate/segments  (and /v1/replicate/segment/{seq}, POST /v1/replicate/sync)
+//	POST /v1/replicate/notify    (gossip receiver)
 //	GET  /metrics
 //	GET  /healthz
 package main
@@ -70,6 +76,9 @@ func main() {
 		compact  = flag.Float64("compact-threshold", 0, "auto-compact the store when its garbage ratio reaches this fraction (0 = disabled; sole-writer stores only)")
 		compactI = flag.Duration("compact-interval", serve.DefaultCompactEvery, "how often the auto-compactor checks the garbage ratio")
 		replInt  = flag.Duration("replicate-interval", 0, "pull new store segments from -peers this often (anti-entropy replication; 0 = disabled; requires -peers and -store-dir)")
+		gossipF  = flag.Int("gossip-fanout", 0, "peers each gossip notification targets (0 = ceil(log2(peers+1)); requires replication)")
+		gossipD  = flag.Bool("gossip-disable", false, "disable push/gossip notifications, leaving pull-only anti-entropy")
+		advert   = flag.String("advertise", "", "base URL peers reach this node at, stamped on gossip notifications (default derived from -addr)")
 	)
 	flag.Parse()
 
@@ -121,18 +130,28 @@ func main() {
 		if len(peerList) == 0 {
 			fatal("jfserved: -replicate-interval requires -peers\n")
 		}
-		var err error
-		rep, err = replicate.New(replicate.Options{
+		ropts := replicate.Options{
 			Store:    st,
 			Peers:    peerList,
 			Interval: *replInt,
 			Logf:     logf,
-		})
+		}
+		gossipNote := ", gossip off"
+		if !*gossipD {
+			ropts.Advertise = advertiseURL(*advert, *addr)
+			ropts.GossipFanout = *gossipF
+			if ropts.Advertise == "" {
+				fatal("jfserved: cannot derive a gossip advertise URL from -addr %q; pass -advertise or -gossip-disable\n", *addr)
+			}
+			gossipNote = fmt.Sprintf(", gossiping as %s", ropts.Advertise)
+		}
+		var err error
+		rep, err = replicate.New(ropts)
 		if err != nil {
 			fatal("jfserved: %v\n", err)
 		}
 		svc.SetReplicator(rep)
-		replicateNote = fmt.Sprintf("replicating from %d peers every %v", len(peerList), *replInt)
+		replicateNote = fmt.Sprintf("replicating from %d peers every %v%s", len(peerList), *replInt, gossipNote)
 	}
 
 	dispatchNote := "single-node"
@@ -152,6 +171,12 @@ func main() {
 		}
 		if rep != nil {
 			opts.SyncedPeers = rep.SyncedPeers
+			if rep.GossipEnabled() {
+				// Hinted handoff: a result computed while its ring owner was
+				// down is recorded durably and pushed over when a probe sees
+				// the owner return.
+				opts.Hints = rep
+			}
 		}
 		d, err := dispatch.New(opts)
 		if err != nil {
@@ -192,6 +217,25 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("jfserved: shut down cleanly")
+}
+
+// advertiseURL resolves the base URL stamped on this node's gossip
+// notifications: -advertise verbatim when given, otherwise derived from
+// the listen address with wildcard hosts mapped to loopback (good for
+// single-machine fleets; multi-host fleets should pass -advertise).
+func advertiseURL(advertise, addr string) string {
+	if advertise != "" {
+		return advertise
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil || port == "" {
+		return ""
+	}
+	switch host {
+	case "", "0.0.0.0", "::", "[::]":
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }
 
 // splitPeers parses the -peers flag, tolerating spaces and empty entries.

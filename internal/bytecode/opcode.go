@@ -7,6 +7,11 @@
 // The package also provides an assembler for building methods
 // programmatically (used by the synthetic SPEC-analog workload corpus), a
 // binary encoder/decoder, and a JAVAP-style disassembler.
+//
+// The load-bearing invariant is encode/decode round-tripping: a method
+// body's bytes are its identity (the store and the replication dedup key
+// both hash them), so assembling, encoding and re-decoding a method must
+// reproduce the original stream exactly.
 package bytecode
 
 import "fmt"

@@ -3,6 +3,12 @@
 // max-stack/max-locals), the Constant Pool, and field/method references
 // resolved to direct offsets by the General Purpose Processor's
 // preparation/verification/resolution steps (Section 6.2).
+//
+// The load-bearing invariant is signature stability: Method.Signature is
+// the fleet-wide addressing key — dispatch routes by it, the store keys
+// records by it (plus the body hash), and replication dedups by it — so
+// it must be a pure function of the method's identity, identical on
+// every node serving the same corpus.
 package classfile
 
 import (

@@ -2,6 +2,13 @@
 // on the General Purpose Processor, greedy loading into the DataFlow
 // Fabric, distributed address resolution over the Serial Networks, and
 // token-bundle execution — the full lifecycle of Section 6.2/6.3.
+//
+// The load-bearing invariant is deploy determinism: the same verified
+// method on the same fabric geometry always yields the same placement
+// and address resolution, which is what makes deployment caching,
+// store keying and cross-node byte-identity possible at all. A fabric
+// rejection (fabric.LoadError) is a deterministic result of that same
+// function, not a transient failure.
 package core
 
 import (

@@ -3,6 +3,10 @@
 // translates a verified ByteCode method into its producer/consumer arc set
 // and measures fan-out, arc lengths, dataflow merges (and proves the absence
 // of back merges), and forward/backward jump profiles.
+//
+// The load-bearing invariant: every analysis here is a pure function of
+// the verified method body, so results may be cached by body hash and
+// regenerated tables compare byte-for-byte across runs and machines.
 package dataflow
 
 import (

@@ -82,6 +82,26 @@ type Options struct {
 	// — including the dead backend's — so the retry is served from its
 	// store instead of re-running the engine on a cold node.
 	SyncedPeers func() []string
+	// Hints, when set, receives hinted-handoff callbacks (see Hints).
+	// replicate.Replicator implements it over durable store meta records
+	// and gossip notifications.
+	Hints Hints
+}
+
+// Hints is the hinted-handoff seam between dispatch (which observes ring
+// owners dying and recovering) and replication (which owns durable state
+// and peer transfer). Both methods are called on job hot paths and must
+// not block on the network: RecordHint may write through the store's
+// write-behind queue; DeliverHints must kick off its transfer in the
+// background.
+type Hints interface {
+	// RecordHint notes that owner (a backend name) was unavailable when
+	// the result for signature was committed somewhere else, so owner is
+	// missing a key it should serve warm.
+	RecordHint(owner, signature string)
+	// DeliverHints is called when a probe observes owner healthy again;
+	// pending hints against it should now be pushed over.
+	DeliverHints(owner string)
 }
 
 // backendState wraps a Backend with its routing health and accounting.
@@ -109,11 +129,14 @@ type Dispatcher struct {
 
 	warmLocal   func(job serve.Job, maxCycles int) bool
 	syncedPeers func() []string
+	hints       Hints
 
 	localFallbacks atomic.Int64
 	retries        atomic.Int64
 	warmLocalHits  atomic.Int64
 	warmRetries    atomic.Int64
+	handoffHints   atomic.Int64
+	ownerRecovers  atomic.Int64
 }
 
 var _ serve.BatchRunner = (*Dispatcher)(nil)
@@ -178,6 +201,7 @@ func NewWithBackends(backends []Backend, opts Options) (*Dispatcher, error) {
 		probeEvery:       int64(probe),
 		warmLocal:        opts.WarmLocal,
 		syncedPeers:      opts.SyncedPeers,
+		hints:            opts.Hints,
 	}
 	names := make([]string, len(backends))
 	for i, b := range backends {
@@ -267,7 +291,15 @@ func (d *Dispatcher) attempt(ctx context.Context, i int, job serve.Job, maxCycle
 	// Success — including a typed rejection, which proves the backend is
 	// healthy enough to have tried the deploy.
 	bs.jobs.Add(1)
-	bs.consecFails.Store(0)
+	if bs.consecFails.Swap(0) >= d.failureThreshold {
+		// This was the probe that caught a suspended backend recovering.
+		// Hand its hinted-handoff backlog over now, so its next
+		// ring-owned requests are warm instead of cold engine runs.
+		d.ownerRecovers.Add(1)
+		if d.hints != nil {
+			d.hints.DeliverHints(bs.b.Name())
+		}
+	}
 	return run, err
 }
 
@@ -287,14 +319,32 @@ func (d *Dispatcher) runLocal(ctx context.Context, job serve.Job, maxCycles int)
 // runJob is the per-job routing policy: ring owner, then — after a
 // transient failure — a warm local serve if the store already holds the
 // key, one retry on a replication-synced peer (falling back to the next
-// node clockwise), then the local scheduler.
+// node clockwise), then the local scheduler. A job that succeeds
+// anywhere but its true ring owner records a hinted handoff: the owner
+// was suspended or failing, so it is now missing a key it should serve
+// warm, and the hint delivers the result when a probe sees it return.
 func (d *Dispatcher) runJob(ctx context.Context, job serve.Job, maxCycles int) (sim.MethodRun, error) {
 	sig := job.Method.Signature()
+	run, servedOn, err := d.runJobRouted(ctx, sig, job, maxCycles)
+	if err == nil && d.hints != nil {
+		// The unfiltered ring owner (nil skip): who *should* hold this
+		// key, suspended or not.
+		if owner := d.ring.owner(sig, nil); owner >= 0 && owner != servedOn {
+			d.handoffHints.Add(1)
+			d.hints.RecordHint(d.backends[owner].b.Name(), sig)
+		}
+	}
+	return run, err
+}
+
+// runJobRouted is runJob's routing body; servedOn is the backend index
+// that produced the result (-1 for the local scheduler).
+func (d *Dispatcher) runJobRouted(ctx context.Context, sig string, job serve.Job, maxCycles int) (run sim.MethodRun, servedOn int, err error) {
 	first := d.route(sig, -1)
 	if first >= 0 {
-		run, err := d.attempt(ctx, first, job, maxCycles)
+		run, err = d.attempt(ctx, first, job, maxCycles)
 		if err == nil || !transient(err) {
-			return run, err
+			return run, first, err
 		}
 		d.retries.Add(1)
 		d.backends[first].retriedAway.Add(1)
@@ -303,17 +353,19 @@ func (d *Dispatcher) runJob(ctx context.Context, job serve.Job, maxCycles int) (
 		// served from the local store — byte-identical, no engine run.
 		if d.warmLocal != nil && d.warmLocal(job, maxCycles) {
 			d.warmLocalHits.Add(1)
-			return d.runLocal(ctx, job, maxCycles)
+			run, err = d.runLocal(ctx, job, maxCycles)
+			return run, -1, err
 		}
 		if second := d.routeRetry(sig, first); second >= 0 {
 			run, err = d.attempt(ctx, second, job, maxCycles)
 			if err == nil || !transient(err) {
-				return run, err
+				return run, second, err
 			}
 		}
 	}
 	d.localFallbacks.Add(1)
-	return d.runLocal(ctx, job, maxCycles)
+	run, err = d.runLocal(ctx, job, maxCycles)
+	return run, -1, err
 }
 
 // routeRetry picks the second node for a job whose ring owner failed.
@@ -468,18 +520,27 @@ type Stats struct {
 	// WarmRetries counts retries routed to a replication-synced peer in
 	// preference to the plain next node clockwise.
 	WarmRetries int64 `json:"warmRetries"`
+	// HandoffHints counts jobs that completed away from their true ring
+	// owner and recorded a hinted handoff against it.
+	HandoffHints int64 `json:"handoffHints"`
+	// OwnerRecoveries counts probes that caught a suspended backend
+	// healthy again (each triggers hint delivery when a Hints seam is
+	// wired).
+	OwnerRecoveries int64 `json:"ownerRecoveries"`
 }
 
 // Stats snapshots the dispatcher's routing counters.
 func (d *Dispatcher) Stats() Stats {
 	shares := d.ring.shares()
 	s := Stats{
-		Backends:       make([]BackendStats, len(d.backends)),
-		VirtualNodes:   len(d.ring.points),
-		Retries:        d.retries.Load(),
-		LocalFallbacks: d.localFallbacks.Load(),
-		WarmLocalHits:  d.warmLocalHits.Load(),
-		WarmRetries:    d.warmRetries.Load(),
+		Backends:        make([]BackendStats, len(d.backends)),
+		VirtualNodes:    len(d.ring.points),
+		Retries:         d.retries.Load(),
+		LocalFallbacks:  d.localFallbacks.Load(),
+		WarmLocalHits:   d.warmLocalHits.Load(),
+		WarmRetries:     d.warmRetries.Load(),
+		HandoffHints:    d.handoffHints.Load(),
+		OwnerRecoveries: d.ownerRecovers.Load(),
 	}
 	for i, bs := range d.backends {
 		s.Backends[i] = BackendStats{

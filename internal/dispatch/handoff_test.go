@@ -1,0 +1,114 @@
+package dispatch
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"javaflow/internal/classfile"
+	"javaflow/internal/scenario/chaos"
+	"javaflow/internal/serve"
+	"javaflow/internal/sim"
+)
+
+// hintLog is a Hints stub: it records the callbacks dispatch makes so the
+// test can assert on the seam without a real replicator behind it.
+type hintLog struct {
+	mu        sync.Mutex
+	recorded  [][2]string // (owner, signature) pairs
+	delivered []string
+}
+
+func (h *hintLog) RecordHint(owner, signature string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.recorded = append(h.recorded, [2]string{owner, signature})
+}
+
+func (h *hintLog) DeliverHints(owner string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.delivered = append(h.delivered, owner)
+}
+
+// TestDispatchHintedHandoffSeam pins when dispatch talks to the Hints
+// seam: every job that succeeds away from its true ring owner records a
+// hint against that owner, and the probe that catches a suspended owner
+// recovering triggers exactly one delivery.
+func TestDispatchHintedHandoffSeam(t *testing.T) {
+	corpus := partitionCorpus()
+	ts1, _ := newPeer(t, corpus)
+	ts2, _ := newPeer(t, corpus)
+	flaky := &chaos.FlakyBackend{Inner: NewRemote(ts1.URL, nil), FailAfter: -1}
+	hints := &hintLog{}
+
+	d, err := NewWithBackends([]Backend{flaky, NewRemote(ts2.URL, nil)}, Options{
+		Local:            newLocalScheduler(),
+		FailureThreshold: 1,
+		ProbeEvery:       2,
+		Hints:            hints,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A hostable method whose ring owner is the flaky backend, so its
+	// failure forces the job elsewhere and its recovery is observable.
+	cfg := testConfig(t, "Compact2")
+	var m *classfile.Method
+	for _, cand := range corpus {
+		if d.ring.owner(cand.Signature(), nil) != 0 {
+			continue
+		}
+		if _, err := sim.DeployMethod(cfg, cand); err == nil {
+			m = cand
+			break
+		}
+	}
+	if m == nil {
+		t.Fatal("no hostable corpus method owned by backend 0")
+	}
+	job := []serve.Job{{Config: cfg, Method: m}}
+	runOnce := func() {
+		t.Helper()
+		if res := d.RunBatchCycles(context.Background(), job, testMaxCycles); res[0].Err != nil {
+			t.Fatalf("job failed: %v", res[0].Err)
+		}
+	}
+
+	// Owner dies mid-fleet: the job retries onto the healthy peer, and
+	// that off-owner success must record a hint against the owner.
+	flaky.Kill()
+	runOnce()
+	hints.mu.Lock()
+	if len(hints.recorded) != 1 || hints.recorded[0] != [2]string{flaky.Name(), m.Signature()} {
+		hints.mu.Unlock()
+		t.Fatalf("recorded hints = %v, want one (%s, %s)", hints.recorded, flaky.Name(), m.Signature())
+	}
+	hints.mu.Unlock()
+
+	// The owner comes back, but dispatch does not know yet: the next job
+	// is still routed around the suspension (and hinted again); the one
+	// after is the probe, whose success must deliver the backlog.
+	flaky.Revive()
+	runOnce()
+	runOnce()
+	hints.mu.Lock()
+	defer hints.mu.Unlock()
+	if len(hints.delivered) != 1 || hints.delivered[0] != flaky.Name() {
+		t.Fatalf("delivered = %v, want exactly one delivery to %s", hints.delivered, flaky.Name())
+	}
+	for _, rec := range hints.recorded {
+		if rec != [2]string{flaky.Name(), m.Signature()} {
+			t.Fatalf("unexpected hint %v", rec)
+		}
+	}
+
+	stats := d.Stats()
+	if stats.HandoffHints != int64(len(hints.recorded)) {
+		t.Fatalf("HandoffHints = %d, want %d", stats.HandoffHints, len(hints.recorded))
+	}
+	if stats.OwnerRecoveries != 1 {
+		t.Fatalf("OwnerRecoveries = %d, want 1", stats.OwnerRecoveries)
+	}
+}

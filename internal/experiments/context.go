@@ -4,6 +4,11 @@
 // dataflow analyzer for Tables 6–14, and the fabric simulator for the
 // Chapter 7 performance studies. cmd/jfbench and the repository's
 // bench_test.go both drive this package.
+//
+// The load-bearing invariant: every sweep routes through the same
+// serve.Scheduler/collect path the daemon uses — never a private engine
+// loop — so scenario-keyed, dispatched, replicated and legacy sweeps all
+// produce byte-identical digests (CI diffs them).
 package experiments
 
 import (

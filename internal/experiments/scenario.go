@@ -106,6 +106,8 @@ func (c *Context) runFault(f scenario.Fault, res *scenario.Resolved) (scenario.F
 		return c.drillBackendDeath(f, res)
 	case scenario.FaultPeerFlap:
 		return c.drillPeerFlap(res)
+	case scenario.FaultGossipPartition:
+		return c.drillGossipPartition(res)
 	case scenario.FaultStoreCorruption:
 		return c.drillStoreCorruption(f, res)
 	case scenario.FaultDeadlinePressure:
@@ -338,6 +340,150 @@ func (c *Context) drillPeerFlap(res *scenario.Resolved) (scenario.FaultOutcome, 
 	out.Recovered = missing == 0
 	out.Detail = fmt.Sprintf("faulted=%d partialIngested=%d missingAfterHeal=%d",
 		gate.Faults(), partial, missing)
+	return out, nil
+}
+
+// drillGossipPartition proves the push path converges without the pull
+// loop, and survives a partition. Two nodes with gossip-enabled
+// replicators whose periodic pull is never started: node A computes
+// results while node B's notify endpoint is down (the rumor is lost),
+// then the partition heals and A's next advertisement must catch B up —
+// to a byte-identical union including the records whose rumors were
+// dropped, because notifications carry cumulative segment positions, not
+// diffs.
+func (c *Context) drillGossipPartition(res *scenario.Resolved) (scenario.FaultOutcome, error) {
+	out := scenario.FaultOutcome{Kind: scenario.FaultGossipPartition}
+	methods := drillMethods(res)
+	cfg := res.Configs[0]
+	ctx := context.Background()
+	configs := sim.Configurations()
+
+	aDir, err := os.MkdirTemp("", "jf-gossip-a-*")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(aDir)
+	bDir, err := os.MkdirTemp("", "jf-gossip-b-*")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(bDir)
+
+	// One record per segment on the origin, so every commit visibly grows
+	// the advertised delta.
+	aSt, err := store.Open(aDir, store.Options{MaxSegmentBytes: 1})
+	if err != nil {
+		return out, err
+	}
+	defer aSt.Close()
+	aSched := serve.NewScheduler(serve.SchedulerOptions{
+		Workers: 2, MaxMeshCycles: res.MaxMeshCycles, Store: aSt,
+	})
+	aSvc := serve.NewService(aSched, configs, methods)
+	aURL, aStop, err := servePeer(serve.NewHandler(aSvc))
+	if err != nil {
+		return out, err
+	}
+	defer aStop()
+
+	bSt, err := store.Open(bDir, store.Options{})
+	if err != nil {
+		return out, err
+	}
+	defer bSt.Close()
+	bSched := serve.NewScheduler(serve.SchedulerOptions{
+		Workers: 2, MaxMeshCycles: res.MaxMeshCycles, Store: bSt,
+	})
+	bSvc := serve.NewService(bSched, configs, methods)
+	gate := &chaos.FlapGate{
+		Inner: serve.NewHandler(bSvc),
+		Match: func(r *http.Request) bool { return r.URL.Path == "/v1/replicate/notify" },
+	}
+	bURL, bStop, err := servePeer(gate)
+	if err != nil {
+		return out, err
+	}
+	defer bStop()
+
+	// Gossip-only replicators: Start (and with it the pull loop) is never
+	// called, so every record B gains below arrived via push.
+	aRep, err := replicate.New(replicate.Options{
+		Store: aSt, Peers: []string{bURL}, Advertise: aURL, Interval: time.Hour,
+	})
+	if err != nil {
+		return out, err
+	}
+	bRep, err := replicate.New(replicate.Options{
+		Store: bSt, Peers: []string{aURL}, Advertise: bURL, Interval: time.Hour,
+	})
+	if err != nil {
+		return out, err
+	}
+	aSvc.SetReplicator(aRep)
+	bSvc.SetReplicator(bRep)
+
+	// Partitioned phase: commit the first half, advertise into the wall.
+	gate.Down()
+	half := (len(methods) + 1) / 2
+	for _, r := range aSched.RunBatchCycles(ctx, drillJobs(cfg, methods[:half]), res.MaxMeshCycles) {
+		if r.Err != nil && !isLoadError(r.Err) {
+			return out, r.Err
+		}
+	}
+	partitionErr := aRep.AdvertiseNow(ctx)
+	missedDuringPartition := 0
+	for _, m := range methods[:half] {
+		key := store.RunKeyFor(cfg, m, res.MaxMeshCycles)
+		if aSt.HasRun(key) && !bSt.HasRun(key) {
+			missedDuringPartition++
+		}
+	}
+	out.Injected = gate.Faults() > 0 && partitionErr != nil && missedDuringPartition > 0
+
+	// Healed phase: commit the second half and advertise again. The
+	// receiver pulls synchronously inside the notify handler, so when
+	// AdvertiseNow returns, B is caught up — lost rumors and all.
+	gate.Up()
+	for _, r := range aSched.RunBatchCycles(ctx, drillJobs(cfg, methods[half:]), res.MaxMeshCycles) {
+		if r.Err != nil && !isLoadError(r.Err) {
+			return out, r.Err
+		}
+	}
+	if err := aRep.AdvertiseNow(ctx); err != nil {
+		out.Detail = fmt.Sprintf("post-heal advertisement failed: %v", err)
+		return out, nil
+	}
+	missing := 0
+	for _, m := range methods {
+		key := store.RunKeyFor(cfg, m, res.MaxMeshCycles)
+		srcRun, ok := aSt.GetRun(key)
+		if !ok {
+			continue // skipped (fabric-ineligible) methods never stored
+		}
+		dstRun, ok := bSt.GetRun(key)
+		if !ok {
+			missing++
+			continue
+		}
+		sb, err := srcRun.MarshalBinary()
+		if err != nil {
+			return out, err
+		}
+		db, err := dstRun.MarshalBinary()
+		if err != nil {
+			return out, err
+		}
+		if string(sb) != string(db) {
+			missing++
+		}
+	}
+	out.Recovered = missing == 0
+	pulled := int64(0)
+	if ps := bRep.Stats().Peers; len(ps) > 0 {
+		pulled = ps[0].RecordsIngested
+	}
+	out.Detail = fmt.Sprintf("notifyFaults=%d missedDuringPartition=%d pulledRecords=%d missingAfterHeal=%d",
+		gate.Faults(), missedDuringPartition, pulled, missing)
 	return out, nil
 }
 

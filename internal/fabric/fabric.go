@@ -4,6 +4,12 @@
 // Network (producer/consumer operand transfers), plus the interfaces to the
 // Memory subsystem and the General Purpose Processor (Chapter 4 and
 // Chapter 6 of the dissertation).
+//
+// The load-bearing invariant is that greedy loading is deterministic:
+// the same method on the same geometry produces the same Placement and
+// Resolution everywhere, and a method the fabric cannot host fails with
+// a typed LoadError that is itself a stable, cacheable result — dispatch
+// treats it as an answer (every node agrees), never as a reason to retry.
 package fabric
 
 import (

@@ -5,6 +5,11 @@
 // loads, counting every ByteCode executed per method signature, and models
 // the _Quick rewrite of storage instructions whose resolution Table 5
 // quantifies.
+//
+// The load-bearing invariant: instrumentation observes, never perturbs —
+// counting instructions must not change what the program computes, so
+// the profiled interpreter's results stay comparable with every other
+// execution substrate in the repository.
 package jvm
 
 import "fmt"

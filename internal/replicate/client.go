@@ -1,6 +1,7 @@
 package replicate
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -59,6 +60,38 @@ func (r *Replicator) fetchManifest(ctx context.Context, base string) ([]store.Se
 		return nil, fmt.Errorf("replicate: decoding manifest from %s: %w", base, err)
 	}
 	return m.Segments, nil
+}
+
+// postNotify pushes one rumor at a peer's POST /v1/replicate/notify.
+// Only status 200 counts as delivered; anything else (including a peer
+// running without gossip, which answers 404) is an error the caller
+// accounts as a failed send.
+func (r *Replicator) postNotify(ctx context.Context, base string, n Notification) error {
+	body, err := json.Marshal(n)
+	if err != nil {
+		return fmt.Errorf("replicate: %w", err)
+	}
+	url := normalizePeer(base) + "/v1/replicate/notify"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("replicate: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("replicate: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+		msg := strings.TrimSpace(string(data))
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return fmt.Errorf("replicate: %s: status %d: %s", url, resp.StatusCode, msg)
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxErrorBody))
+	return nil
 }
 
 // fetchSegment streams segment seq's bytes from offset from to its

@@ -1,21 +1,26 @@
 // Package replicate keeps a fleet of jfserved stores convergent without
-// shared filesystems or consensus: a background Replicator on every node
-// periodically polls its peers' segment manifests (GET
+// shared filesystems or consensus, on two planes sharing one substrate.
+// The pull plane is classic anti-entropy: a background Replicator on
+// every node periodically polls its peers' segment manifests (GET
 // /v1/replicate/segments), streams only the segment bytes it has not
 // ingested yet (GET /v1/replicate/segment/{seq}, resumed from a per-peer
 // cursor persisted in the local store), and merges the fetched frames
 // through store.Ingest — which re-validates every CRC and skips keys that
-// are already live.
+// are already live. The push plane is gossip/rumor mongering (see
+// gossip.go): a node that commits payload records advertises the new
+// segment positions at a few random peers (POST /v1/replicate/notify),
+// which pull the delta immediately and relay the rumor onward with a TTL
+// — warm results are fleet-wide in milliseconds while the pull loop,
+// which repairs anything push missed, can tick hourly.
 //
-// The protocol is pull-based anti-entropy in the classic epidemic style:
-// no node pushes, no node coordinates, and any polling topology that
-// keeps the fleet connected converges every store to the union of all
-// live records. Convergence is trivially safe because records are
-// content-keyed and immutable — two nodes can only ever disagree by one
-// of them missing a record, never by holding different values for the
-// same key — so "merge" degenerates to byte-exact dedup, and a node that
-// pulled a record serves it byte-identical to the node that computed it,
-// without re-running the engine.
+// No node coordinates, and any topology that keeps the fleet connected
+// converges every store to the union of all live records. Convergence is
+// trivially safe because records are content-keyed and immutable — two
+// nodes can only ever disagree by one of them missing a record, never by
+// holding different values for the same key — so "merge" degenerates to
+// byte-exact dedup, and a node that pulled a record serves it
+// byte-identical to the node that computed it, without re-running the
+// engine.
 //
 // Crash safety rides on the store's ordering guarantee: a peer's cursor
 // is appended to the log after the records it claims, so a crash
@@ -48,6 +53,14 @@ const DefaultInterval = 15 * time.Second
 // store ("meta|replcursor|<peer URL>").
 const cursorMetaPrefix = "replcursor|"
 
+// normalizePeer canonicalizes a peer base URL exactly the way
+// dispatch.Remote.Name() does. Every identity derived from a peer URL —
+// cursor meta keys, rumor dedup IDs, notification origins, handoff hint
+// keys — MUST pass through here, so "http://h:1" and "http://h:1/" can
+// never fork into two cursor namespaces or two independent rumors for
+// the same delta.
+func normalizePeer(p string) string { return strings.TrimRight(p, "/") }
+
 // Options configures a Replicator.
 type Options struct {
 	// Store is the local store foreign segments merge into. Required.
@@ -63,6 +76,24 @@ type Options struct {
 	Client *http.Client
 	// Logf, when non-nil, receives operator-facing progress lines.
 	Logf func(format string, args ...any)
+
+	// Advertise, when non-empty, enables push/rumor-mongering gossip and
+	// is the base URL peers reach this node at (it becomes
+	// Notification.Origin, so it must appear in the peers' own Peers
+	// lists, or they will drop the rumor as unknown-origin). With gossip
+	// enabled, Start also installs a store append hook: every committed
+	// payload record wakes the notifier, which advertises the (segment
+	// seq, size, CRC) delta to GossipFanout random peers; the periodic
+	// pull loop remains the repair path for missed rumors.
+	Advertise string
+	// GossipFanout is how many random peers each advertisement (and each
+	// onward relay) targets. <=0 picks ceil(log2(len(Peers)+1)) — the
+	// classic epidemic fanout that reaches N nodes in O(log N) hops.
+	GossipFanout int
+	// GossipTTL is the hop budget stamped on locally originated rumors
+	// (<=0 uses DefaultGossipTTL). Together with rumor-ID dedup it makes
+	// rumors die out instead of echoing forever.
+	GossipTTL int
 }
 
 // peerState is one peer's replication position and accounting. The mutex
@@ -92,9 +123,13 @@ type Replicator struct {
 	client   *http.Client
 	logf     func(format string, args ...any)
 
-	syncMu sync.Mutex // one anti-entropy round at a time
+	syncMu sync.Mutex // one reconciliation (round or notify pull) at a time
 	rounds atomic.Int64
 	errs   atomic.Int64
+
+	// g is the push/rumor-mongering side; nil when Options.Advertise is
+	// empty (pull-only replicator).
+	g *gossip
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -131,14 +166,27 @@ func New(opts Options) (*Replicator, error) {
 		// Normalize exactly the way dispatch.Remote.Name() does, so
 		// SyncedPeers matches backend names (warm-retry preference) and a
 		// trailing slash in -peers cannot fork a second cursor namespace.
-		p = strings.TrimRight(p, "/")
+		p = normalizePeer(p)
 		if seen[p] {
 			return nil, fmt.Errorf("replicate: duplicate peer %q", p)
 		}
 		seen[p] = true
 		r.peers = append(r.peers, &peerState{name: p})
 	}
+	if opts.Advertise != "" {
+		r.g = newGossip(normalizePeer(opts.Advertise), len(r.peers), opts.GossipFanout, opts.GossipTTL)
+	}
 	return r, nil
+}
+
+// peerByName finds the configured peer whose normalized base URL is name.
+func (r *Replicator) peerByName(name string) *peerState {
+	for _, p := range r.peers {
+		if p.name == name {
+			return p
+		}
+	}
+	return nil
 }
 
 func (r *Replicator) logff(format string, args ...any) {
@@ -149,8 +197,11 @@ func (r *Replicator) logff(format string, args ...any) {
 
 // Start launches the background sync loop: one round immediately (so a
 // fresh daemon warms up without waiting a full interval), then one per
-// interval. The returned stop is idempotent and waits for any in-flight
-// round to finish.
+// interval. With gossip enabled (Options.Advertise) it also installs the
+// store append hook and starts the notifier, so every committed payload
+// record — engine run or ingested foreign frame — is pushed at random
+// peers without waiting for their next pull. The returned stop is
+// idempotent and waits for any in-flight round to finish.
 func (r *Replicator) Start() (stop func()) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
@@ -172,11 +223,16 @@ func (r *Replicator) Start() (stop func()) {
 			}
 		}
 	}()
+	gossipDone := r.startGossip(ctx)
 	var once sync.Once
 	return func() {
 		once.Do(func() {
+			if r.g != nil {
+				r.st.SetAppendHook(nil)
+			}
 			cancel()
 			<-done
+			<-gossipDone
 		})
 	}
 }
@@ -231,27 +287,27 @@ func (p *peerState) fail(err error) {
 	p.mu.Unlock()
 }
 
-// syncPeer reconciles this store against one peer: fetch the manifest,
-// stream every byte range the cursor has not covered, ingest, then
-// persist the advanced cursor (after the data, never before). A failure
-// partway through the round keeps the progress made so far — already
-// ingested segments are durable, so their cursor advance is persisted
-// before the error is reported and the next round re-fetches only the
-// failed segment onward, not the whole log.
-func (r *Replicator) syncPeer(ctx context.Context, p *peerState) error {
-	manifest, err := r.fetchManifest(ctx, p.name)
-	if err != nil {
-		p.fail(err)
-		return err
-	}
-	cursor := p.loadCursor(r.st)
+// pullResult accumulates one reconciliation pass against a peer.
+type pullResult struct {
+	ingested, skipped, fetched, segsPulled int64
+}
 
-	var ingested, skipped, fetched, segsPulled int64
-	var roundErr error
-	sort.Slice(manifest, func(i, j int) bool { return manifest[i].Seq < manifest[j].Seq })
-	for _, seg := range manifest {
-		if roundErr = ctx.Err(); roundErr != nil {
-			break
+// pullSegments fetches and ingests every byte of segs that cursor has
+// not covered yet, advancing cursor in place. It is the shared transfer
+// path for the periodic pull round (called with a full manifest) and a
+// gossip notification (called with just the advertised delta). The
+// caller persists the advanced cursor after the data and owns the peer
+// bookkeeping; a mid-pass failure returns the progress made so far —
+// already ingested segments are durable, so their cursor advance
+// survives and the next reconciliation re-fetches only the failed
+// segment onward, not the whole log.
+func (r *Replicator) pullSegments(ctx context.Context, p *peerState, segs []store.SegmentInfo, cursor map[int]int64) (pullResult, error) {
+	var res pullResult
+	sorted := append([]store.SegmentInfo(nil), segs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+	for _, seg := range sorted {
+		if err := ctx.Err(); err != nil {
+			return res, err
 		}
 		from := cursor[seg.Seq]
 		if from >= seg.Size {
@@ -259,38 +315,49 @@ func (r *Replicator) syncPeer(ctx context.Context, p *peerState) error {
 		}
 		data, err := r.fetchSegment(ctx, p.name, seg.Seq, from)
 		if err != nil {
-			roundErr = err
-			break
+			return res, err
 		}
-		// A full-segment fetch can be checked against the manifest CRC;
+		// A full-segment fetch can be checked against the advertised CRC;
 		// partial resumes rely on the per-frame CRCs Ingest enforces.
 		if from == 0 && int64(len(data)) >= seg.Size {
 			if crc32.Checksum(data[:seg.Size], castagnoli) != seg.CRC32C {
-				roundErr = fmt.Errorf("replicate: segment %d checksum mismatch (transfer corrupt or segment rewritten)", seg.Seq)
-				break
+				return res, fmt.Errorf("replicate: segment %d checksum mismatch (transfer corrupt or segment rewritten)", seg.Seq)
 			}
 		}
-		res, err := r.st.Ingest(data)
+		ires, err := r.st.Ingest(data)
 		if err != nil {
 			// Includes *store.MaintenanceBusyError when a compaction holds
 			// the store; this segment's cursor is untouched, the next
-			// round re-fetches it.
-			roundErr = err
-			break
+			// reconciliation re-fetches it.
+			return res, err
 		}
-		if res.Bytes == 0 && len(data) > 0 {
-			roundErr = fmt.Errorf("replicate: segment %d yielded no frames at offset %d (cursor off a frame boundary?)", seg.Seq, from)
-			break
+		if ires.Bytes == 0 && len(data) > 0 {
+			return res, fmt.Errorf("replicate: segment %d yielded no frames at offset %d (cursor off a frame boundary?)", seg.Seq, from)
 		}
-		cursor[seg.Seq] = from + res.Bytes
-		ingested += int64(res.Ingested)
-		skipped += int64(res.Skipped + res.SkippedMeta)
-		fetched += int64(len(data))
-		segsPulled++
-		if res.CRCSkipped > 0 {
-			r.logff("replicate: %s segment %d: %d checksum-failed frame(s) skipped", p.name, seg.Seq, res.CRCSkipped)
+		cursor[seg.Seq] = from + ires.Bytes
+		res.ingested += int64(ires.Ingested)
+		res.skipped += int64(ires.Skipped + ires.SkippedMeta)
+		res.fetched += int64(len(data))
+		res.segsPulled++
+		if ires.CRCSkipped > 0 {
+			r.logff("replicate: %s segment %d: %d checksum-failed frame(s) skipped", p.name, seg.Seq, ires.CRCSkipped)
 		}
 	}
+	return res, nil
+}
+
+// syncPeer reconciles this store against one peer: fetch the manifest,
+// stream every byte range the cursor has not covered, ingest, then
+// persist the advanced cursor (after the data, never before).
+func (r *Replicator) syncPeer(ctx context.Context, p *peerState) error {
+	manifest, err := r.fetchManifest(ctx, p.name)
+	if err != nil {
+		p.fail(err)
+		return err
+	}
+	cursor := p.loadCursor(r.st)
+	res, roundErr := r.pullSegments(ctx, p, manifest, cursor)
+	ingested, skipped, fetched, segsPulled := res.ingested, res.skipped, res.fetched, res.segsPulled
 
 	caughtUp := roundErr == nil
 	if roundErr == nil {
@@ -387,10 +454,13 @@ type PeerStats struct {
 
 // Stats is the replicator's observable state.
 type Stats struct {
-	IntervalSeconds float64     `json:"intervalSeconds"`
-	Rounds          int64       `json:"rounds"`
-	RoundErrors     int64       `json:"roundErrors"`
-	Peers           []PeerStats `json:"peers"`
+	IntervalSeconds float64 `json:"intervalSeconds"`
+	Rounds          int64   `json:"rounds"`
+	RoundErrors     int64   `json:"roundErrors"`
+	// Gossip is the push/rumor-mongering block; absent on pull-only
+	// replicators (Options.Advertise unset).
+	Gossip *GossipStats `json:"gossip,omitempty"`
+	Peers  []PeerStats  `json:"peers"`
 }
 
 // Stats snapshots the replication counters and per-peer cursors.
@@ -399,6 +469,7 @@ func (r *Replicator) Stats() Stats {
 		IntervalSeconds: r.interval.Seconds(),
 		Rounds:          r.rounds.Load(),
 		RoundErrors:     r.errs.Load(),
+		Gossip:          r.gossipStats(),
 		Peers:           make([]PeerStats, 0, len(r.peers)),
 	}
 	for _, p := range r.peers {

@@ -1,5 +1,10 @@
 // Package report renders the result tables in aligned plain text, matching
 // the dissertation's table layouts closely enough to compare side by side.
+//
+// The load-bearing invariant: rendering is deterministic — the same
+// inputs produce the same bytes, with no map-iteration or locale
+// dependence — because CI compares whole rendered tables with cmp/diff
+// to prove single-node, dispatched and replicated sweeps agree.
 package report
 
 import (

@@ -189,7 +189,7 @@ func Catalog() []*Bundle {
 		},
 		{
 			Name:        "chaos-fleet",
-			Description: "Small corpus on Compact2 under the full fault schedule: a dispatch backend dies mid-batch, a replication peer flaps, a flushed segment is corrupted on disk, and the deadline budget is squeezed.",
+			Description: "Small corpus on Compact2 under the full fault schedule: a dispatch backend dies mid-batch, a replication peer flaps, a gossip partition drops push notifications until the next advertisement heals it, a flushed segment is corrupted on disk, and the deadline budget is squeezed.",
 			Tier:        TierAdversarial,
 			Workload: WorkloadSpec{
 				Suites:    []string{"crypto.signverify"},
@@ -199,6 +199,7 @@ func Catalog() []*Bundle {
 			Faults: []Fault{
 				{Kind: FaultBackendDeath, After: 1},
 				{Kind: FaultPeerFlap},
+				{Kind: FaultGossipPartition},
 				{Kind: FaultStoreCorruption, Mode: CorruptBitFlip},
 				{Kind: FaultDeadlinePressure, MaxCycles: 500},
 			},

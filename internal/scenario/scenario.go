@@ -48,6 +48,11 @@ const (
 	// out, then restores it: timeouts must be reported, never mistaken for
 	// results.
 	FaultDeadlinePressure FaultKind = "deadline-pressure"
+	// FaultGossipPartition drops a peer's inbound gossip notifications
+	// while results commit, then heals the partition: the next
+	// advertisement must catch the peer up to a byte-identical union with
+	// no periodic pull round involved.
+	FaultGossipPartition FaultKind = "gossip-partition"
 )
 
 // Corruption modes for FaultStoreCorruption.
@@ -198,6 +203,7 @@ func (f Fault) validate() error {
 			return fmt.Errorf("%s: after must be >= 0, got %d", f.Kind, f.After)
 		}
 	case FaultPeerFlap:
+	case FaultGossipPartition:
 	case FaultStoreCorruption:
 		switch f.Mode {
 		case "", CorruptBitFlip, CorruptTruncate:

@@ -79,6 +79,7 @@ func (p ErrorPayload) Err() error {
 //	GET  /v1/replicate/segments      — segment manifest for peer pullers
 //	GET  /v1/replicate/segment/{seq} — raw segment frames (?from= resumes)
 //	POST /v1/replicate/sync          — force one anti-entropy round now
+//	POST /v1/replicate/notify        — gossip receiver: pull an advertised delta now
 //	GET  /metrics                    — service counters + cache/store/dispatch/replication stats
 //	GET  /healthz                    — liveness
 func NewHandler(svc *Service) http.Handler {
@@ -238,6 +239,37 @@ func NewHandler(svc *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, rp.Stats())
+	})
+
+	// Gossip receiver: a peer advertising freshly committed segment ranges.
+	// The handler pulls the advertised delta synchronously — when the 200
+	// goes out, this node has the data — and relays the rumor onward in the
+	// background. 404 without a gossip-enabled replicator, so senders
+	// account a pull-only peer as a failed send and the fleet still
+	// converges through their pull loops.
+	mux.HandleFunc("POST /v1/replicate/notify", func(w http.ResponseWriter, r *http.Request) {
+		rp := svc.Replicator()
+		if rp == nil || !rp.GossipEnabled() {
+			writeJSON(w, http.StatusNotFound, ErrorPayload{
+				Error: "serve: gossip not enabled on this node (start with -peers, -replicate-interval and no -gossip-disable)",
+				Kind:  ErrKindNotFound,
+			})
+			return
+		}
+		var n replicate.Notification
+		if !decodeJSON(w, r, &n) {
+			return
+		}
+		out, err := rp.HandleNotify(r.Context(), n)
+		if err != nil {
+			if errors.Is(err, replicate.ErrBadNotification) {
+				writeError(w, &BadRequestError{Msg: err.Error()})
+				return
+			}
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
 
 	// Compaction is sole-writer-only (see store.Compact): in a shared

@@ -43,8 +43,8 @@ func TestHTTPScenarioList(t *testing.T) {
 		}
 		byName[info.Name] = info
 	}
-	if cf := byName["chaos-fleet"]; cf.Tier != scenario.TierAdversarial || len(cf.Faults) != 4 {
-		t.Fatalf("chaos-fleet info = %+v, want adversarial with 4 faults", cf)
+	if cf := byName["chaos-fleet"]; cf.Tier != scenario.TierAdversarial || len(cf.Faults) != 5 {
+		t.Fatalf("chaos-fleet info = %+v, want adversarial with 5 faults", cf)
 	}
 	if ao := byName["adversarial-oracle"]; !ao.Oracle {
 		t.Fatalf("adversarial-oracle info = %+v, want oracle=true", ao)

@@ -4,6 +4,15 @@
 // clocks per mesh clock), the Table 17 execution latencies, the Figure 25
 // transit/service times, and the BP1/BP2 branch-prediction methodology,
 // measuring IPC, Figure of Merit, coverage and parallelism.
+//
+// The load-bearing invariant is byte-identity across execution loops:
+// the event-driven core (Engine.Run) and the clock-by-clock reference
+// loop (Engine.RunReference) must produce identical Results and
+// identical encoded MethodRun bytes for every method, configuration,
+// branch policy, folding setting and quiesce schedule. Any change that
+// can alter a Result must bump EngineVersion so persisted store records
+// become misses instead of silently replaying stale semantics; a pure
+// performance change that passes the differential suite must not.
 package sim
 
 import (

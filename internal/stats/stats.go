@@ -1,6 +1,11 @@
 // Package stats provides the descriptive statistics the dissertation's
 // result tables report: mean, standard deviation, median, extrema
 // (Tables 9–14, 19–21) and Pearson correlation (Table 23).
+//
+// The load-bearing invariant: every function is a pure, order-stable
+// computation over its input slice — no randomness, no map iteration —
+// so tables built from the same runs are byte-identical across
+// processes, which the CI digest comparisons rely on.
 package stats
 
 import (

@@ -135,6 +135,12 @@ type Store struct {
 	manMu    sync.Mutex
 	manCache map[int]manifestEntry
 
+	// appendHook, when set, is called by the writer goroutine after each
+	// payload (non-meta) record reaches the active segment. Replication
+	// uses it as its push trigger; the hook must not block (it runs on the
+	// single writer goroutine) and must not call back into the store.
+	appendHook atomic.Pointer[func()]
+
 	runHits, runMisses       atomic.Int64
 	deployHits, deployMisses atomic.Int64
 	puts, putErrors          atomic.Int64
@@ -358,8 +364,27 @@ func (s *Store) writer() {
 				s.writeErr = err
 			}
 			s.fmu.Unlock()
+		} else if req.rec.typ != recTypeMeta {
+			// Meta records (replication cursors, handoff hints) are
+			// node-local bookkeeping — advertising them would make every
+			// cursor write gossip about itself.
+			if fn := s.appendHook.Load(); fn != nil {
+				(*fn)()
+			}
 		}
 	}
+}
+
+// SetAppendHook installs (or, with nil, removes) the post-append
+// notification hook. The hook fires on the writer goroutine after a
+// payload record lands in the active segment — before any fsync — so it
+// must be cheap and non-blocking; flag-and-wake is the intended shape.
+func (s *Store) SetAppendHook(fn func()) {
+	if fn == nil {
+		s.appendHook.Store(nil)
+		return
+	}
+	s.appendHook.Store(&fn)
 }
 
 // appendToDisk frames and writes one record, rotating the segment first if
