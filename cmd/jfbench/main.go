@@ -152,6 +152,7 @@ func main() {
 		}
 		reportStore(ctx)
 		reportDispatch(ctx)
+		reportTraces(ctx)
 		reportEngine(start)
 		if err := ctx.Close(); err != nil {
 			fail(1, "jfbench: closing store: %v\n", err)
@@ -188,6 +189,7 @@ func main() {
 		fmt.Print(report.Render())
 		reportStore(ctx)
 		reportDispatch(ctx)
+		reportTraces(ctx)
 		reportEngine(start)
 		if err := ctx.Close(); err != nil {
 			fail(1, "jfbench: closing store: %v\n", err)
@@ -209,6 +211,7 @@ func main() {
 		if !*all && *table == "" {
 			reportStore(ctx)
 			reportDispatch(ctx)
+			reportTraces(ctx)
 			reportEngine(start)
 			if err := ctx.Close(); err != nil {
 				fail(1, "jfbench: closing store: %v\n", err)
@@ -247,6 +250,7 @@ func main() {
 
 	reportStore(ctx)
 	reportDispatch(ctx)
+	reportTraces(ctx)
 	reportEngine(start)
 	if err := ctx.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "jfbench: closing store: %v\n", err)
@@ -289,6 +293,21 @@ func reportDispatch(ctx *experiments.Context) {
 	for _, b := range st.Backends {
 		fmt.Fprintf(os.Stderr, "jfbench: dispatch backend %s — %d jobs, %d errors, %.1f%% ring share\n",
 			b.Name, b.Jobs, b.Errors, 100*b.RingShare)
+	}
+}
+
+// reportTraces prints the invocation's span count and its slowest spans,
+// so a slow sweep points at its bottleneck without a second run. Silent
+// when nothing was traced.
+func reportTraces(ctx *experiments.Context) {
+	tr := ctx.Scheduler().Metrics().Tracer()
+	if tr.SpanCount() == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "jfbench: traces — %d spans recorded\n", tr.SpanCount())
+	for _, sp := range tr.Slowest(3) {
+		fmt.Fprintf(os.Stderr, "jfbench: trace %s span %s %s — %.1fms\n",
+			sp.TraceID, sp.SpanID, sp.Name, float64(sp.DurationNS)/1e6)
 	}
 }
 

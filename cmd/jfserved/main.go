@@ -36,8 +36,12 @@
 //	GET  /v1/store    (and POST /v1/store/compact)
 //	GET  /v1/replicate/segments  (and /v1/replicate/segment/{seq}, POST /v1/replicate/sync)
 //	POST /v1/replicate/notify    (gossip receiver)
-//	GET  /metrics
+//	GET  /metrics     (?format=prometheus for the text exposition)
+//	GET  /debug/traces
 //	GET  /healthz
+//
+// With -debug-addr a second listener serves net/http/pprof on a separate
+// loopback port, keeping profiling endpoints off the service address.
 package main
 
 import (
@@ -45,6 +49,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"runtime"
@@ -79,6 +85,7 @@ func main() {
 		gossipF  = flag.Int("gossip-fanout", 0, "peers each gossip notification targets (0 = ceil(log2(peers+1)); requires replication)")
 		gossipD  = flag.Bool("gossip-disable", false, "disable push/gossip notifications, leaving pull-only anti-entropy")
 		advert   = flag.String("advertise", "", "base URL peers reach this node at, stamped on gossip notifications (default derived from -addr)")
+		debugA   = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof (e.g. 127.0.0.1:6060; empty = disabled)")
 	)
 	flag.Parse()
 
@@ -135,6 +142,8 @@ func main() {
 			Peers:    peerList,
 			Interval: *replInt,
 			Logf:     logf,
+			Tracer:   sched.Metrics().Tracer(),
+			Registry: sched.Metrics().Registry(),
 		}
 		gossipNote := ", gossip off"
 		if !*gossipD {
@@ -160,6 +169,8 @@ func main() {
 			Peers:       splitPeers(*peers),
 			Local:       sched,
 			MaxInflight: *inflight,
+			Tracer:      sched.Metrics().Tracer(),
+			Registry:    sched.Metrics().Registry(),
 		}
 		if st != nil {
 			// On a retry after a backend death, serve the job from the
@@ -202,6 +213,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugA != "" {
+		// net/http/pprof registers on http.DefaultServeMux; serving it on
+		// a dedicated listener keeps profiling off the service address.
+		debugSrv := &http.Server{Addr: *debugA, Handler: http.DefaultServeMux}
+		go func() {
+			logf("pprof listening on %s", *debugA)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logf("pprof server: %v", err)
+			}
+		}()
+		defer debugSrv.Close()
+	}
 
 	storeNote := "memory-only"
 	if st != nil {

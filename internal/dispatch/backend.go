@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strings"
 
+	"javaflow/internal/obs"
 	"javaflow/internal/serve"
 	"javaflow/internal/sim"
 )
@@ -77,6 +78,9 @@ func (r *Remote) Run(ctx context.Context, job serve.Job, maxCycles int) (sim.Met
 	// itself a dispatch front (or this very process — a self-peer must
 	// not recurse).
 	req.Header.Set(serve.DispatchedHeader, "1")
+	// Carry the caller's trace across the wire so the peer's server span
+	// joins the same trace one hop deeper.
+	obs.Inject(req, ctx)
 
 	resp, err := r.client.Do(req)
 	if err != nil {

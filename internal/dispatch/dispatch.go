@@ -30,8 +30,10 @@ import (
 	"net/url"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"javaflow/internal/fabric"
+	"javaflow/internal/obs"
 	"javaflow/internal/serve"
 	"javaflow/internal/sim"
 )
@@ -86,6 +88,14 @@ type Options struct {
 	// replicate.Replicator implements it over durable store meta records
 	// and gossip notifications.
 	Hints Hints
+	// Tracer records dispatch-attempt spans; pass the serving node's
+	// serve.Metrics tracer so one /debug/traces dump covers ingress and
+	// fan-out. Nil disables span recording.
+	Tracer *obs.Tracer
+	// Registry receives the dispatcher's counters and per-backend/outcome
+	// attempt histograms. Nil leaves them unregistered (still counted in
+	// Stats).
+	Registry *obs.Registry
 }
 
 // Hints is the hinted-handoff seam between dispatch (which observes ring
@@ -131,12 +141,16 @@ type Dispatcher struct {
 	syncedPeers func() []string
 	hints       Hints
 
+	tracer      *obs.Tracer
+	attemptHist *obs.HistogramVec // per backend × outcome, failures included
+
 	localFallbacks atomic.Int64
 	retries        atomic.Int64
 	warmLocalHits  atomic.Int64
 	warmRetries    atomic.Int64
 	handoffHints   atomic.Int64
 	ownerRecovers  atomic.Int64
+	suspensions    atomic.Int64
 }
 
 var _ serve.BatchRunner = (*Dispatcher)(nil)
@@ -202,6 +216,7 @@ func NewWithBackends(backends []Backend, opts Options) (*Dispatcher, error) {
 		warmLocal:        opts.WarmLocal,
 		syncedPeers:      opts.SyncedPeers,
 		hints:            opts.Hints,
+		tracer:           opts.Tracer,
 	}
 	names := make([]string, len(backends))
 	for i, b := range backends {
@@ -212,7 +227,36 @@ func NewWithBackends(backends []Backend, opts Options) (*Dispatcher, error) {
 		})
 	}
 	d.ring = newRing(names, opts.Replicas)
+	d.register(opts.Registry)
 	return d, nil
+}
+
+// register exposes the dispatcher's counters and attempt histograms in
+// the node registry (no-op on a nil registry).
+func (d *Dispatcher) register(reg *obs.Registry) {
+	d.attemptHist = reg.NewHistogramVec("javaflow_dispatch_attempt_duration_seconds",
+		"Dispatch attempt latency per backend, failures and fallbacks included.",
+		"backend", "outcome")
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("javaflow_dispatch_retries_total", "Jobs that needed a second node.",
+		func() float64 { return float64(d.retries.Load()) })
+	reg.CounterFunc("javaflow_dispatch_local_fallbacks_total", "Jobs that ended on the in-process scheduler.",
+		func() float64 { return float64(d.localFallbacks.Load()) })
+	reg.CounterFunc("javaflow_dispatch_suspensions_total", "Backends crossing the consecutive-failure threshold into suspension.",
+		func() float64 { return float64(d.suspensions.Load()) })
+	reg.CounterFunc("javaflow_dispatch_warm_local_hits_total", "Retries short-circuited by the local store.",
+		func() float64 { return float64(d.warmLocalHits.Load()) })
+	reg.CounterFunc("javaflow_dispatch_handoff_hints_total", "Hinted handoffs recorded against absent ring owners.",
+		func() float64 { return float64(d.handoffHints.Load()) })
+	for _, bs := range d.backends {
+		bs := bs
+		reg.CounterFunc("javaflow_dispatch_backend_jobs_total", "Jobs completed per backend.",
+			func() float64 { return float64(bs.jobs.Load()) }, "backend", bs.b.Name())
+		reg.CounterFunc("javaflow_dispatch_backend_errors_total", "Transient failures per backend.",
+			func() float64 { return float64(bs.errs.Load()) }, "backend", bs.b.Name())
+	}
 }
 
 // Backends lists the backend names in ring-slot order.
@@ -271,8 +315,27 @@ func transient(err error) bool {
 	return true
 }
 
+// outcomeOf classifies an attempt result for histogram labels and span
+// attributes. Every attempt lands in the histogram — failed and rejected
+// ones included, so future load-adaptive routing sees failure latency.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case !transient(err):
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return "canceled"
+		}
+		return "rejected"
+	default:
+		return "error"
+	}
+}
+
 // attempt runs job on backend i under its inflight bound and updates that
-// backend's health accounting.
+// backend's health accounting. The attempt span and histogram cover the
+// backend call only — inflight queueing is excluded so the numbers read
+// as backend latency, not dispatcher congestion.
 func (d *Dispatcher) attempt(ctx context.Context, i int, job serve.Job, maxCycles int) (sim.MethodRun, error) {
 	bs := d.backends[i]
 	select {
@@ -282,12 +345,22 @@ func (d *Dispatcher) attempt(ctx context.Context, i int, job serve.Job, maxCycle
 	}
 	defer func() { <-bs.sem }()
 
+	ctx, span := d.tracer.StartSpan(ctx, "dispatch.attempt")
+	span.SetAttr("backend", bs.b.Name())
+	start := time.Now()
 	run, err := bs.b.Run(ctx, job, maxCycles)
+	outcome := outcomeOf(err)
+	d.attemptHist.With(bs.b.Name(), outcome).Record(time.Since(start))
+	span.SetAttr("outcome", outcome)
 	if err != nil && transient(err) {
+		span.End(err)
 		bs.errs.Add(1)
-		bs.consecFails.Add(1)
+		if bs.consecFails.Add(1) == d.failureThreshold {
+			d.suspensions.Add(1)
+		}
 		return run, err
 	}
+	span.End(nil)
 	// Success — including a typed rejection, which proves the backend is
 	// healthy enough to have tried the deploy.
 	bs.jobs.Add(1)
@@ -313,7 +386,10 @@ func (d *Dispatcher) runLocal(ctx context.Context, job serve.Job, maxCycles int)
 		return sim.MethodRun{}, ctx.Err()
 	}
 	defer func() { <-d.localSem }()
-	return d.local.RunMethodCycles(ctx, job.Config, job.Method, maxCycles)
+	start := time.Now()
+	run, err := d.local.RunMethodCycles(ctx, job.Config, job.Method, maxCycles)
+	d.attemptHist.With("local", outcomeOf(err)).Record(time.Since(start))
+	return run, err
 }
 
 // runJob is the per-job routing policy: ring owner, then — after a
@@ -527,6 +603,9 @@ type Stats struct {
 	// healthy again (each triggers hint delivery when a Hints seam is
 	// wired).
 	OwnerRecoveries int64 `json:"ownerRecoveries"`
+	// Suspensions counts backends crossing the consecutive-failure
+	// threshold into suspension (once per streak, not per skipped job).
+	Suspensions int64 `json:"suspensions"`
 }
 
 // Stats snapshots the dispatcher's routing counters.
@@ -541,6 +620,7 @@ func (d *Dispatcher) Stats() Stats {
 		WarmRetries:     d.warmRetries.Load(),
 		HandoffHints:    d.handoffHints.Load(),
 		OwnerRecoveries: d.ownerRecovers.Load(),
+		Suspensions:     d.suspensions.Load(),
 	}
 	for i, bs := range d.backends {
 		s.Backends[i] = BackendStats{

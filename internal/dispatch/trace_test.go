@@ -1,0 +1,110 @@
+package dispatch
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"javaflow/internal/obs"
+	"javaflow/internal/serve"
+	"javaflow/internal/sim"
+)
+
+// dumpSpans fetches one node's /debug/traces ring.
+func dumpSpans(t *testing.T, baseURL string) []obs.Span {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/debug/traces?n=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/traces: status %d", resp.StatusCode)
+	}
+	var dump obs.TraceDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatalf("decoding trace dump: %v", err)
+	}
+	return dump.Recent
+}
+
+// TestTracePropagatesAcrossNodes is the distributed-tracing acceptance
+// contract: a client-supplied X-Javaflow-Trace ID on a batch posted to a
+// dispatch front must appear in the front's own trace ring at hop 0 AND in
+// the backend's ring at hop 1 — one trace spanning both processes, with
+// the hop count recording the wire crossing.
+func TestTracePropagatesAcrossNodes(t *testing.T) {
+	methods := testMethods(t, 2)
+
+	// Backend node, with its own tracer behind its own /debug/traces.
+	backend, _ := newPeer(t, methods)
+
+	// Front node dispatching every batch job to the backend.
+	frontSched := newLocalScheduler()
+	frontSvc := serve.NewService(frontSched, sim.Configurations(), methods)
+	d, err := New(Options{
+		Peers:    []string{backend.URL},
+		Local:    frontSched,
+		Tracer:   frontSched.Metrics().Tracer(),
+		Registry: frontSched.Metrics().Registry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontSvc.SetBatchRunner(d)
+	front := httptest.NewServer(serve.NewHandler(frontSvc))
+	t.Cleanup(front.Close)
+
+	const traceID = "0123456789abcdef"
+	body, _ := json.Marshal(serve.BatchRequest{Configs: []string{"Hetero2"}, SummaryOnly: true})
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, traceID+"-00000000000000aa-0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/batch: status %d", resp.StatusCode)
+	}
+
+	var frontHops, backHops []int
+	for _, sp := range dumpSpans(t, front.URL) {
+		if sp.TraceID == traceID {
+			frontHops = append(frontHops, sp.Hop)
+		}
+	}
+	for _, sp := range dumpSpans(t, backend.URL) {
+		if sp.TraceID == traceID {
+			backHops = append(backHops, sp.Hop)
+			if sp.ParentID == "" {
+				t.Errorf("backend span %s (%s) joined trace %s without a parent", sp.SpanID, sp.Name, traceID)
+			}
+		}
+	}
+
+	if len(frontHops) == 0 {
+		t.Fatalf("front recorded no spans for client trace %s", traceID)
+	}
+	if len(backHops) == 0 {
+		t.Fatalf("backend recorded no spans for client trace %s — trace did not cross the dispatch hop", traceID)
+	}
+	for _, h := range frontHops {
+		if h != 0 {
+			t.Errorf("front span at hop %d, want 0 (ingress joins the client's hop)", h)
+		}
+	}
+	for _, h := range backHops {
+		if h != 1 {
+			t.Errorf("backend span at hop %d, want 1 (one wire crossing from the front)", h)
+		}
+	}
+}

@@ -97,7 +97,12 @@ func (c *Context) BatchRunner() (serve.BatchRunner, error) {
 		c.runner = c.Scheduler()
 		return c.runner, nil
 	}
-	d, err := dispatch.New(dispatch.Options{Peers: c.Peers, Local: c.Scheduler()})
+	d, err := dispatch.New(dispatch.Options{
+		Peers:    c.Peers,
+		Local:    c.Scheduler(),
+		Tracer:   c.Scheduler().Metrics().Tracer(),
+		Registry: c.Scheduler().Metrics().Registry(),
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram buckets are log-spaced powers of two over microseconds:
+// bucket i has upper bound 1µs<<i, i = 0..histBuckets-1 (1µs ... ~134s),
+// plus one overflow bucket. Every histogram shares the same boundaries so
+// snapshots merge bucket-by-bucket.
+const histBuckets = 28
+
+// bucketBound reports bucket i's inclusive upper bound in nanoseconds.
+func bucketBound(i int) int64 {
+	return int64(1000) << uint(i)
+}
+
+// bucketFor maps a duration in nanoseconds to its bucket index
+// (histBuckets for overflow).
+func bucketFor(ns int64) int {
+	if ns <= 1000 {
+		return 0
+	}
+	i := bits.Len64(uint64(ns-1) / 1000)
+	if i >= histBuckets {
+		return histBuckets
+	}
+	return i
+}
+
+// Histogram is a race-safe log-bucketed latency histogram: recording is
+// three atomic adds, no locks, no allocation. A nil *Histogram is a
+// valid no-op.
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Uint64
+	count  atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+// NewHistogram builds an unregistered standalone histogram; prefer
+// Registry.NewHistogram so it shows up in the exposition.
+func NewHistogram() *Histogram {
+	return &Histogram{}
+}
+
+// Record files one observation.
+func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketFor(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+}
+
+// Snapshot captures a point-in-time copy of the bucket counts. Buckets
+// are read individually, so a snapshot taken during concurrent recording
+// may be off by the in-flight observations — never torn below zero.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNS = h.sumNS.Load()
+	return s
+}
+
+// Quantile reports the p-quantile (0 < p <= 1) as the upper bound of the
+// bucket containing that rank — an exact upper bound on the true value,
+// within one power of two. Zero observations reports 0.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	return h.Snapshot().Quantile(p)
+}
+
+// HistogramSnapshot is an immutable copy of a histogram's state.
+type HistogramSnapshot struct {
+	Counts [histBuckets + 1]uint64
+	Count  uint64
+	SumNS  int64
+}
+
+// Merge combines two snapshots bucket-by-bucket (all histograms share
+// boundaries, so this is exact).
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := s
+	for i := range out.Counts {
+		out.Counts[i] += o.Counts[i]
+	}
+	out.Count += o.Count
+	out.SumNS += o.SumNS
+	return out
+}
+
+// Quantile reports the p-quantile as the containing bucket's upper bound.
+func (s HistogramSnapshot) Quantile(p float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(p * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i == histBuckets {
+				// Overflow bucket: no finite bound; report the largest.
+				return time.Duration(bucketBound(histBuckets - 1))
+			}
+			return time.Duration(bucketBound(i))
+		}
+	}
+	return time.Duration(bucketBound(histBuckets - 1))
+}
+
+// Mean reports the exact arithmetic mean of all observations.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / int64(s.Count))
+}
+
+// HistogramVec is a family of histograms keyed by label values (e.g. one
+// per backend × outcome). Children are created on first use and live
+// forever — label cardinality must be bounded by the caller. A nil
+// *HistogramVec is a valid no-op (With returns a nil *Histogram).
+type HistogramVec struct {
+	keys []string
+
+	mu       sync.RWMutex
+	children map[string]*Histogram
+	// onNew, when set by the owning registry, is invoked (outside mu)
+	// with the label values of each newly created child.
+	onNew func(values []string, h *Histogram)
+}
+
+// NewHistogramVec builds an unregistered vector with the given label keys.
+func NewHistogramVec(keys ...string) *HistogramVec {
+	return &HistogramVec{keys: keys, children: make(map[string]*Histogram)}
+}
+
+// With returns the child histogram for the given label values (one per
+// key, in key order), creating it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	k := strings.Join(values, "\x00")
+	v.mu.RLock()
+	h := v.children[k]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	h = v.children[k]
+	var created bool
+	if h == nil {
+		h = &Histogram{}
+		v.children[k] = h
+		created = true
+	}
+	onNew := v.onNew
+	v.mu.Unlock()
+	if created && onNew != nil {
+		onNew(values, h)
+	}
+	return h
+}
+
+// snapshotAll returns every child's label values and snapshot, sorted by
+// label key for deterministic iteration.
+func (v *HistogramVec) snapshotAll() []vecChild {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	out := make([]vecChild, 0, len(v.children))
+	for k, h := range v.children {
+		out = append(out, vecChild{values: strings.Split(k, "\x00"), snap: h.Snapshot()})
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].values, "\x00") < strings.Join(out[j].values, "\x00")
+	})
+	return out
+}
+
+type vecChild struct {
+	values []string
+	snap   HistogramSnapshot
+}

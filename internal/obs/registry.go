@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is the single process-wide instrument catalog: subsystems
+// register counters, gauges and histograms at startup and WritePrometheus
+// renders all of them in the Prometheus text exposition format (0.0.4).
+// Registration is replace-by-(name,labels) — re-registering the same
+// series swaps the reader instead of duplicating the exposition line, so
+// rebuilding a subsystem (new scheduler over a shared cache, say) is
+// safe. A nil *Registry is valid: registrations no-op and histogram
+// constructors return functional unregistered instruments.
+type Registry struct {
+	mu       sync.Mutex
+	families []*metricFamily
+	byName   map[string]*metricFamily
+}
+
+type metricFamily struct {
+	name, help, typ string // typ: counter | gauge | histogram
+	series          []*numSeries
+	byLabels        map[string]*numSeries
+	hists           []*histSeries
+	histByLabels    map[string]*histSeries
+	vec             *HistogramVec
+	vecKeys         []string
+}
+
+type numSeries struct {
+	labels string // rendered `k="v",...` or ""
+	fn     func() float64
+}
+
+type histSeries struct {
+	labels string
+	h      *Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metricFamily)}
+}
+
+func (r *Registry) family(name, help, typ string) *metricFamily {
+	f := r.byName[name]
+	if f == nil {
+		f = &metricFamily{
+			name: name, help: help, typ: typ,
+			byLabels:     make(map[string]*numSeries),
+			histByLabels: make(map[string]*histSeries),
+		}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	return f
+}
+
+// CounterFunc registers a monotonically increasing series read from fn
+// at exposition time. kv is an even-length list of label key/value pairs.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, kv ...string) {
+	r.addNum(name, help, "counter", fn, kv)
+}
+
+// GaugeFunc registers a point-in-time series read from fn at exposition
+// time. kv is an even-length list of label key/value pairs.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, kv ...string) {
+	r.addNum(name, help, "gauge", fn, kv)
+}
+
+func (r *Registry) addNum(name, help, typ string, fn func() float64, kv []string) {
+	if r == nil || fn == nil {
+		return
+	}
+	labels := renderLabelPairs(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, typ)
+	if s := f.byLabels[labels]; s != nil {
+		s.fn = fn
+		return
+	}
+	s := &numSeries{labels: labels, fn: fn}
+	f.byLabels[labels] = s
+	f.series = append(f.series, s)
+}
+
+// NewHistogram registers and returns a histogram with static labels.
+// On a nil registry it returns a functional unregistered histogram.
+func (r *Registry) NewHistogram(name, help string, kv ...string) *Histogram {
+	if r == nil {
+		return NewHistogram()
+	}
+	labels := renderLabelPairs(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "histogram")
+	if s := f.histByLabels[labels]; s != nil {
+		return s.h
+	}
+	s := &histSeries{labels: labels, h: &Histogram{}}
+	f.histByLabels[labels] = s
+	f.hists = append(f.hists, s)
+	return s.h
+}
+
+// NewHistogramVec registers and returns a histogram family keyed by the
+// given label keys; children appear in the exposition as they are
+// created via With. On a nil registry it returns a functional
+// unregistered vector.
+func (r *Registry) NewHistogramVec(name, help string, keys ...string) *HistogramVec {
+	if r == nil {
+		return NewHistogramVec(keys...)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "histogram")
+	if f.vec == nil {
+		f.vec = NewHistogramVec(keys...)
+		f.vecKeys = keys
+	}
+	return f.vec
+}
+
+// Names lists every registered family name, in registration order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.families))
+	for i, f := range r.families {
+		out[i] = f.name
+	}
+	return out
+}
+
+// WritePrometheus renders every family in the text exposition format.
+// Reader callbacks run under the registry lock, so they must not
+// re-register instruments (reading atomics or other locks is fine).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			writeSample(w, f.name, s.labels, s.fn())
+		}
+		for _, s := range f.hists {
+			writeHistogram(w, f.name, s.labels, s.h.Snapshot())
+		}
+		if f.vec != nil {
+			for _, c := range f.vec.snapshotAll() {
+				kv := make([]string, 0, 2*len(f.vecKeys))
+				for i, k := range f.vecKeys {
+					v := ""
+					if i < len(c.values) {
+						v = c.values[i]
+					}
+					kv = append(kv, k, v)
+				}
+				writeHistogram(w, f.name, renderLabelPairs(kv), c.snap)
+			}
+		}
+	}
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(v))
+}
+
+func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) {
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += s.Counts[i]
+		le := strconv.FormatFloat(float64(bucketBound(i))/1e9, 'g', -1, 64)
+		writeSample(w, name+"_bucket", joinLabels(labels, `le="`+le+`"`), float64(cum))
+	}
+	cum += s.Counts[histBuckets]
+	writeSample(w, name+"_bucket", joinLabels(labels, `le="+Inf"`), float64(cum))
+	writeSample(w, name+"_sum", labels, float64(s.SumNS)/1e9)
+	writeSample(w, name+"_count", labels, float64(s.Count))
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabelPairs renders an even-length key/value list as
+// `k1="v1",k2="v2"`, escaping values, with keys in given order.
+func renderLabelPairs(kv []string) string {
+	if len(kv) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, "\\", `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}

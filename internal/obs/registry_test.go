@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bufio"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleLine is the text-format grammar for one sample:
+// name{labels} value, labels optional.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [^ ]+$`)
+
+func buildTestRegistry() *Registry {
+	reg := NewRegistry()
+	reg.CounterFunc("javaflow_test_requests_total", "Requests.", func() float64 { return 42 })
+	reg.GaugeFunc("javaflow_test_inflight", "In flight.", func() float64 { return 3 })
+	reg.GaugeFunc("javaflow_test_backend_up", "Backend liveness.", func() float64 { return 1 },
+		"backend", `http://peer:8080/with"quote`)
+	h := reg.NewHistogram("javaflow_test_duration_seconds", "Latency.")
+	h.Record(time.Millisecond)
+	h.Record(time.Second)
+	vec := reg.NewHistogramVec("javaflow_test_attempt_seconds", "Attempts.", "backend", "outcome")
+	vec.With("b1", "ok").Record(time.Millisecond)
+	vec.With("b1", "error").Record(time.Second)
+	return reg
+}
+
+func TestWritePrometheusGrammar(t *testing.T) {
+	reg := buildTestRegistry()
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if out == "" {
+		t.Fatal("empty exposition")
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		lines++
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("line violates text-format grammar: %q", line)
+		}
+	}
+	if lines < 10 {
+		t.Fatalf("suspiciously short exposition (%d lines):\n%s", lines, out)
+	}
+}
+
+func TestWritePrometheusContent(t *testing.T) {
+	reg := buildTestRegistry()
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE javaflow_test_requests_total counter",
+		"javaflow_test_requests_total 42",
+		"# TYPE javaflow_test_inflight gauge",
+		"javaflow_test_inflight 3",
+		`javaflow_test_backend_up{backend="http://peer:8080/with\"quote"} 1`,
+		"# TYPE javaflow_test_duration_seconds histogram",
+		`javaflow_test_duration_seconds_bucket{le="+Inf"} 2`,
+		"javaflow_test_duration_seconds_count 2",
+		`javaflow_test_attempt_seconds_bucket{backend="b1",outcome="ok",le="+Inf"} 1`,
+		`javaflow_test_attempt_seconds_count{backend="b1",outcome="error"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+
+	// Histogram buckets must be cumulative and end at the count.
+	if !strings.Contains(out, "javaflow_test_duration_seconds_sum 1.001") {
+		t.Errorf("histogram _sum not in seconds:\n%s", out)
+	}
+}
+
+func TestRegistryReplaceSemantics(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("javaflow_test_g", "G.", func() float64 { return 1 })
+	reg.GaugeFunc("javaflow_test_g", "G.", func() float64 { return 2 }) // replace
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if strings.Count(out, "\njavaflow_test_g ") != 1 {
+		t.Fatalf("duplicate series after re-registration:\n%s", out)
+	}
+	if !strings.Contains(out, "javaflow_test_g 2") {
+		t.Fatalf("replacement did not take:\n%s", out)
+	}
+
+	h1 := reg.NewHistogram("javaflow_test_h_seconds", "H.")
+	h2 := reg.NewHistogram("javaflow_test_h_seconds", "H.")
+	if h1 != h2 {
+		t.Error("re-registering a histogram should return the same instrument")
+	}
+	v1 := reg.NewHistogramVec("javaflow_test_v_seconds", "V.", "peer")
+	v2 := reg.NewHistogramVec("javaflow_test_v_seconds", "V.", "peer")
+	if v1 != v2 {
+		t.Error("re-registering a histogram vec should return the same instrument")
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	reg := buildTestRegistry()
+	names := reg.Names()
+	want := map[string]bool{
+		"javaflow_test_requests_total":   false,
+		"javaflow_test_duration_seconds": false,
+		"javaflow_test_attempt_seconds":  false,
+	}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("Names() missing %q: %v", n, names)
+		}
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var reg *Registry
+	reg.CounterFunc("x_total", "X.", func() float64 { return 1 })
+	reg.GaugeFunc("y", "Y.", func() float64 { return 1 })
+	h := reg.NewHistogram("h_seconds", "H.")
+	if h == nil {
+		t.Fatal("nil registry must return a functional histogram")
+	}
+	h.Record(time.Millisecond)
+	if h.Snapshot().Count != 1 {
+		t.Error("unregistered histogram should still record")
+	}
+	v := reg.NewHistogramVec("v_seconds", "V.", "k")
+	if v == nil || v.With("a") == nil {
+		t.Fatal("nil registry must return a functional histogram vec")
+	}
+	reg.WritePrometheus(&strings.Builder{})
+	if reg.Names() != nil {
+		t.Error("nil registry Names should be nil")
+	}
+}
+
+func TestRuntimeMetricsRegistered(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{"javaflow_goroutines", "javaflow_heap_alloc_bytes", "javaflow_gc_runs_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memReader caches runtime.ReadMemStats so one exposition scrape pays
+// for at most one read even though several gauges consume it.
+type memReader struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (m *memReader) read() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Since(m.at) > time.Second {
+		runtime.ReadMemStats(&m.stat)
+		m.at = time.Now()
+	}
+	return m.stat
+}
+
+// RegisterRuntimeMetrics registers goroutine, heap and GC-pause gauges.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	mem := &memReader{}
+	reg.GaugeFunc("javaflow_goroutines", "Current number of goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("javaflow_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		return float64(mem.read().HeapAlloc)
+	})
+	reg.GaugeFunc("javaflow_heap_objects", "Number of allocated heap objects.", func() float64 {
+		return float64(mem.read().HeapObjects)
+	})
+	reg.CounterFunc("javaflow_gc_runs_total", "Completed garbage-collection cycles.", func() float64 {
+		return float64(mem.read().NumGC)
+	})
+	reg.CounterFunc("javaflow_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", func() float64 {
+		return float64(mem.read().PauseTotalNs) / 1e9
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strings"
 
+	"javaflow/internal/obs"
 	"javaflow/internal/store"
 )
 
@@ -32,6 +33,7 @@ func (r *Replicator) get(ctx context.Context, url string) (*http.Response, error
 	if err != nil {
 		return nil, fmt.Errorf("replicate: %w", err)
 	}
+	obs.Inject(req, ctx)
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("replicate: %w", err)
@@ -77,6 +79,7 @@ func (r *Replicator) postNotify(ctx context.Context, base string, n Notification
 		return fmt.Errorf("replicate: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.Inject(req, ctx)
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("replicate: %w", err)

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"javaflow/internal/obs"
 	"javaflow/internal/store"
 )
 
@@ -195,7 +196,14 @@ func (r *Replicator) startGossip(ctx context.Context) <-chan struct{} {
 // segment delta at GossipFanout random peers. It is a no-op when nothing
 // grew since the last successful advertisement. Exposed for hinted
 // handoff and tests; the notifier loop is the normal caller.
-func (r *Replicator) AdvertiseNow(ctx context.Context) error {
+//
+// The advertisement runs under its own trace span (a fresh trace unless
+// the caller's ctx already carries one), and the minted context flows
+// into every notify POST — so the receivers' server spans, their relay
+// pulls, and the relays' receivers all correlate under one trace ID.
+func (r *Replicator) AdvertiseNow(ctx context.Context) (err error) {
+	ctx, span := r.tracer.StartSpan(ctx, "gossip.advertise")
+	defer func() { span.End(err) }()
 	g := r.g
 	if g == nil {
 		return ErrGossipDisabled
@@ -234,6 +242,8 @@ func (r *Replicator) AdvertiseNow(ctx context.Context) error {
 	n := Notification{Origin: g.advertise, TTL: g.ttl, Segments: delta}
 	targets := r.pickTargets(g.fanout, g.advertise)
 	ok := r.sendNotify(ctx, n, targets)
+	span.SetAttr("segments", strconv.Itoa(len(delta)))
+	span.SetAttr("sent", strconv.Itoa(ok))
 	if ok == 0 && len(targets) > 0 {
 		// Leave lastAdvertised untouched: the next wakeup (or the next
 		// commit) re-advertises the whole delta, so a total push outage
@@ -349,6 +359,15 @@ func (g *gossip) unmarkRumor(id string) {
 // The pull shares the round mutex with the periodic loop, so cursors
 // never race.
 func (r *Replicator) HandleNotify(ctx context.Context, n Notification) (NotifyOutcome, error) {
+	ctx, span := r.tracer.StartSpan(ctx, "gossip.notify")
+	out, err := r.handleNotify(ctx, n)
+	span.SetAttr("origin", normalizePeer(n.Origin))
+	span.SetAttr("result", out.Result)
+	span.End(err)
+	return out, err
+}
+
+func (r *Replicator) handleNotify(ctx context.Context, n Notification) (NotifyOutcome, error) {
 	var out NotifyOutcome
 	g := r.g
 	if g == nil {
@@ -436,8 +455,14 @@ func (r *Replicator) HandleNotify(ctx context.Context, n Notification) (NotifyOu
 			g.relayed.Add(int64(len(targets)))
 			relay := Notification{Origin: origin, TTL: ttl - 1, Segments: n.Segments}
 			// Detached: the sender's POST must not wait for the next hop;
-			// sendNotify bounds each send with notifyTimeout.
-			go r.sendNotify(context.Background(), relay, targets)
+			// sendNotify bounds each send with notifyTimeout. The trace
+			// context survives the detach so relay hops stay correlated
+			// under the originating advertisement's trace ID.
+			rctx := context.Background()
+			if tc, ok := obs.TraceFrom(ctx); ok {
+				rctx = obs.ContextWithTrace(rctx, tc)
+			}
+			go r.sendNotify(rctx, relay, targets)
 		}
 	}
 	return out, nil

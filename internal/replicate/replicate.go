@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"javaflow/internal/obs"
 	"javaflow/internal/store"
 )
 
@@ -94,6 +95,14 @@ type Options struct {
 	// (<=0 uses DefaultGossipTTL). Together with rumor-ID dedup it makes
 	// rumors die out instead of echoing forever.
 	GossipTTL int
+
+	// Tracer records pull and gossip spans; pass the serving node's
+	// serve.Metrics tracer so replication hops land in the same
+	// /debug/traces dump as the requests they serve. Nil disables spans.
+	Tracer *obs.Tracer
+	// Registry receives the replicator's counters and per-peer pull
+	// histograms. Nil leaves them unregistered (still visible in Stats).
+	Registry *obs.Registry
 }
 
 // peerState is one peer's replication position and accounting. The mutex
@@ -126,6 +135,9 @@ type Replicator struct {
 	syncMu sync.Mutex // one reconciliation (round or notify pull) at a time
 	rounds atomic.Int64
 	errs   atomic.Int64
+
+	tracer   *obs.Tracer
+	pullHist *obs.HistogramVec // per-peer pull duration (round slice or notify delta)
 
 	// g is the push/rumor-mongering side; nil when Options.Advertise is
 	// empty (pull-only replicator).
@@ -176,7 +188,45 @@ func New(opts Options) (*Replicator, error) {
 	if opts.Advertise != "" {
 		r.g = newGossip(normalizePeer(opts.Advertise), len(r.peers), opts.GossipFanout, opts.GossipTTL)
 	}
+	r.tracer = opts.Tracer
+	r.register(opts.Registry)
 	return r, nil
+}
+
+// register exposes the replicator's counters and per-peer pull histograms
+// in the node registry (no-op on a nil registry).
+func (r *Replicator) register(reg *obs.Registry) {
+	r.pullHist = reg.NewHistogramVec("javaflow_replicate_pull_duration_seconds",
+		"Per-peer reconciliation latency: a pull round's slice or a gossip delta pull.", "peer")
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("javaflow_replicate_rounds_total", "Completed anti-entropy rounds.",
+		func() float64 { return float64(r.rounds.Load()) })
+	reg.CounterFunc("javaflow_replicate_round_errors_total", "Per-peer failures across rounds.",
+		func() float64 { return float64(r.errs.Load()) })
+	reg.CounterFunc("javaflow_replicate_ingested_records_total", "Records pulled in from peers.",
+		func() float64 {
+			var n int64
+			for _, p := range r.peers {
+				p.mu.Lock()
+				n += p.ingested
+				p.mu.Unlock()
+			}
+			return float64(n)
+		})
+	if r.g != nil {
+		reg.CounterFunc("javaflow_gossip_rumors_sent_total", "Gossip notifications sent (originated).",
+			func() float64 { return float64(r.g.sent.Load()) })
+		reg.CounterFunc("javaflow_gossip_rumors_relayed_total", "Gossip notifications relayed onward.",
+			func() float64 { return float64(r.g.relayed.Load()) })
+		reg.CounterFunc("javaflow_gossip_rumors_received_total", "Gossip notifications received.",
+			func() float64 { return float64(r.g.received.Load()) })
+		reg.CounterFunc("javaflow_gossip_duplicates_total", "Received rumors dropped as duplicates.",
+			func() float64 { return float64(r.g.duplicates.Load()) })
+		reg.CounterFunc("javaflow_gossip_pulls_total", "Delta pulls triggered by notifications.",
+			func() float64 { return float64(r.g.pulls.Load()) })
+	}
 }
 
 // peerByName finds the configured peer whose normalized base URL is name.
@@ -250,7 +300,13 @@ func (r *Replicator) SyncNow(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := r.syncPeer(ctx, p); err != nil {
+		pctx, span := r.tracer.StartSpan(ctx, "replicate.pull")
+		span.SetAttr("peer", p.name)
+		start := time.Now()
+		err := r.syncPeer(pctx, p)
+		r.pullHist.With(p.name).Record(time.Since(start))
+		span.End(err)
+		if err != nil {
 			r.errs.Add(1)
 			errs = append(errs, fmt.Errorf("peer %s: %w", p.name, err))
 		}

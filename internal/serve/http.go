@@ -8,9 +8,11 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"javaflow/internal/fabric"
+	"javaflow/internal/obs"
 	"javaflow/internal/replicate"
 	"javaflow/internal/store"
 )
@@ -80,8 +82,16 @@ func (p ErrorPayload) Err() error {
 //	GET  /v1/replicate/segment/{seq} — raw segment frames (?from= resumes)
 //	POST /v1/replicate/sync          — force one anti-entropy round now
 //	POST /v1/replicate/notify        — gossip receiver: pull an advertised delta now
-//	GET  /metrics                    — service counters + cache/store/dispatch/replication stats
+//	GET  /metrics                    — service counters + cache/store/dispatch/replication stats;
+//	                                   ?format=prometheus renders the full instrument registry
+//	                                   in the Prometheus text exposition format
+//	GET  /debug/traces               — recent + slowest spans from this node's trace ring (?n= caps each)
 //	GET  /healthz                    — liveness
+//
+// Every request runs under the trace middleware: an inbound
+// X-Javaflow-Trace header joins its trace at the carried hop depth, any
+// other request mints a fresh trace at hop 0, and the server span plus
+// per-endpoint latency land in the node's tracer and histograms.
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	metrics := svc.Scheduler().Metrics()
@@ -293,6 +303,11 @@ func NewHandler(svc *Service) http.Handler {
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			metrics.Registry().WritePrometheus(w)
+			return
+		}
 		snap := svc.Scheduler().Snapshot()
 		if ds, ok := svc.BatchRunner().(DispatchStatser); ok {
 			snap.Dispatch = ds.DispatchStats()
@@ -304,11 +319,27 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusOK, snap)
 	})
 
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 64
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 || v > 4096 {
+				writeJSON(w, http.StatusBadRequest, ErrorPayload{
+					Error: fmt.Sprintf("serve: bad span count %q", q),
+					Kind:  ErrKindInternal,
+				})
+				return
+			}
+			n = v
+		}
+		writeJSON(w, http.StatusOK, metrics.Tracer().Dump(n))
+	})
+
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 
-	return countRequests(metrics, mux)
+	return instrument(metrics, mux)
 }
 
 // StoreReport is the GET /v1/store payload: the store's admin report
@@ -355,12 +386,69 @@ func streamBatch(w http.ResponseWriter, r *http.Request, svc *Service, req Batch
 	}
 }
 
-// countRequests is the metrics middleware.
-func countRequests(m *Metrics, next http.Handler) http.Handler {
+// instrument is the observability middleware: it counts the request,
+// adopts an inbound X-Javaflow-Trace context (or lets StartSpan mint a
+// fresh trace at hop 0), records a server span named after the endpoint,
+// and files the latency in the per-endpoint histogram.
+func instrument(m *Metrics, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m.RecordRequest()
-		next.ServeHTTP(w, r)
+		endpoint := endpointLabel(r.Method, r.URL.Path)
+		ctx := r.Context()
+		if tc, ok := obs.ParseTrace(r.Header.Get(obs.TraceHeader)); ok {
+			ctx = obs.ContextWithTrace(ctx, tc)
+		}
+		ctx, span := m.Tracer().StartSpan(ctx, endpoint)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		m.RecordHTTP(endpoint, time.Since(start))
+		span.SetAttr("status", strconv.Itoa(sw.status))
+		var err error
+		if sw.status >= 500 {
+			err = fmt.Errorf("http %d", sw.status)
+		}
+		span.End(err)
 	})
+}
+
+// statusWriter captures the response status for the server span. It must
+// keep forwarding Flush or NDJSON batch streaming stalls behind buffers.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// endpointLabel maps a request to a bounded histogram label: known
+// routes keep their pattern (path parameters collapsed), everything else
+// is "other" so hostile paths cannot mint unbounded label values.
+func endpointLabel(method, path string) string {
+	switch {
+	case strings.HasPrefix(path, "/v1/scenarios/"):
+		path = "/v1/scenarios/{name}"
+	case strings.HasPrefix(path, "/v1/replicate/segment/"):
+		path = "/v1/replicate/segment/{seq}"
+	}
+	switch path {
+	case "/v1/run", "/v1/batch", "/v1/configs", "/v1/methods", "/v1/scenarios",
+		"/v1/scenarios/{name}", "/v1/store", "/v1/store/compact",
+		"/v1/replicate/segments", "/v1/replicate/segment/{seq}",
+		"/v1/replicate/sync", "/v1/replicate/notify",
+		"/metrics", "/debug/traces", "/healthz":
+		return method + " " + path
+	}
+	return method + " other"
 }
 
 // decodeJSON parses the body into v, replying 400 on malformed input.

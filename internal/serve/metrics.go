@@ -1,23 +1,23 @@
 package serve
 
 import (
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"javaflow/internal/obs"
 	"javaflow/internal/replicate"
 	"javaflow/internal/sim"
 	"javaflow/internal/store"
 )
 
-// latencyWindow bounds the sliding sample set percentiles are computed
-// over; at one sample per job, 4096 covers several recent sweeps.
-const latencyWindow = 4096
-
 // Metrics tracks service-level counters: request and job volume, cache
-// effectiveness, in-flight work, and recent-latency percentiles. All
-// methods are safe for concurrent use.
+// effectiveness, in-flight work, and job-latency percentiles from a
+// log-bucketed histogram (no sample window — recording is atomic adds and
+// quantiles are exact bucket bounds). Every Metrics owns the process
+// Registry and Tracer the rest of the node registers into, so one
+// GET /metrics?format=prometheus scrape and one GET /debug/traces dump
+// cover every subsystem wired to this scheduler. All methods are safe
+// for concurrent use.
 type Metrics struct {
 	requests  atomic.Int64 // HTTP requests served
 	jobs      atomic.Int64 // simulation jobs completed
@@ -26,19 +26,63 @@ type Metrics struct {
 
 	start time.Time // rate base for the engine throughput gauges
 
-	mu      sync.Mutex
-	samples []time.Duration // ring buffer of recent job latencies
-	next    int
-	filled  bool
+	reg         *obs.Registry
+	tracer      *obs.Tracer
+	jobLatency  *obs.Histogram    // all jobs, warm and cold
+	httpLatency *obs.HistogramVec // per-endpoint request latency
 }
 
-// NewMetrics returns an empty metrics collector.
+// NewMetrics returns a metrics collector with its registry pre-populated
+// with the serve, engine and runtime instruments.
 func NewMetrics() *Metrics {
-	return &Metrics{samples: make([]time.Duration, latencyWindow), start: time.Now()}
+	m := &Metrics{
+		start:  time.Now(),
+		reg:    obs.NewRegistry(),
+		tracer: obs.NewTracer(0),
+	}
+	m.jobLatency = m.reg.NewHistogram("javaflow_job_duration_seconds",
+		"Simulation job latency, warm cache hits and cold engine runs alike.")
+	m.httpLatency = m.reg.NewHistogramVec("javaflow_http_request_duration_seconds",
+		"HTTP request latency by endpoint.", "endpoint")
+	m.reg.CounterFunc("javaflow_http_requests_total", "HTTP requests served.",
+		func() float64 { return float64(m.requests.Load()) })
+	m.reg.CounterFunc("javaflow_jobs_total", "Simulation jobs completed.",
+		func() float64 { return float64(m.jobs.Load()) })
+	m.reg.CounterFunc("javaflow_job_errors_total", "Simulation jobs that returned an error.",
+		func() float64 { return float64(m.jobErrors.Load()) })
+	m.reg.GaugeFunc("javaflow_jobs_inflight", "Simulation jobs currently executing.",
+		func() float64 { return float64(m.inFlight.Load()) })
+	m.reg.CounterFunc("javaflow_engine_runs_total", "Engine method runs completed process-wide.",
+		func() float64 { return float64(sim.TotalEngineStats().Runs) })
+	m.reg.CounterFunc("javaflow_engine_mesh_cycles_total", "Mesh cycles simulated process-wide.",
+		func() float64 { return float64(sim.TotalEngineStats().SimulatedMeshCycles) })
+	m.reg.CounterFunc("javaflow_engine_events_total", "Engine events processed process-wide.",
+		func() float64 { return float64(sim.TotalEngineStats().Events) })
+	m.reg.CounterFunc("javaflow_engine_cycles_skipped_total", "Mesh cycles fast-forwarded instead of ticked.",
+		func() float64 { return float64(sim.TotalEngineStats().CyclesSkipped) })
+	m.reg.GaugeFunc("javaflow_engine_mesh_cycles_per_second", "Simulated mesh cycles per second of uptime.",
+		func() float64 { return m.engineThroughput().MeshCyclesPerSec })
+	m.reg.CounterFunc("javaflow_trace_spans_total", "Trace spans finished on this node.",
+		func() float64 { return float64(m.tracer.SpanCount()) })
+	obs.RegisterRuntimeMetrics(m.reg)
+	return m
 }
+
+// Registry is the node-wide instrument registry; subsystems wired to this
+// scheduler (store, dispatch, replicate) register into it at startup.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// Tracer records this node's spans; dispatch and replicate share it so
+// one /debug/traces dump shows every hop the node participated in.
+func (m *Metrics) Tracer() *obs.Tracer { return m.tracer }
 
 // RecordRequest counts one HTTP request.
 func (m *Metrics) RecordRequest() { m.requests.Add(1) }
+
+// RecordHTTP files one request's latency under its endpoint label.
+func (m *Metrics) RecordHTTP(endpoint string, d time.Duration) {
+	m.httpLatency.With(endpoint).Record(d)
+}
 
 // JobStarted marks a simulation job in flight and returns its start time.
 func (m *Metrics) JobStarted() time.Time {
@@ -53,30 +97,7 @@ func (m *Metrics) JobFinished(start time.Time, err error) {
 	if err != nil {
 		m.jobErrors.Add(1)
 	}
-	d := time.Since(start)
-	m.mu.Lock()
-	m.samples[m.next] = d
-	m.next++
-	if m.next == len(m.samples) {
-		m.next = 0
-		m.filled = true
-	}
-	m.mu.Unlock()
-}
-
-// percentile returns the p-th percentile of sorted (nearest-rank).
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(p*float64(len(sorted))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	m.jobLatency.Record(time.Since(start))
 }
 
 // EngineThroughput is the engine-core gauge block of /metrics: the
@@ -99,6 +120,7 @@ type MetricsSnapshot struct {
 	InFlight     int64            `json:"inFlight"`
 	P50LatencyMS float64          `json:"p50LatencyMs"`
 	P95LatencyMS float64          `json:"p95LatencyMs"`
+	P99LatencyMS float64          `json:"p99LatencyMs"`
 	Cache        CacheStats       `json:"cache"`
 	Engine       EngineThroughput `json:"engine"`
 	Store        *store.Stats     `json:"store,omitempty"`
@@ -112,25 +134,18 @@ type MetricsSnapshot struct {
 }
 
 // Snapshot captures the current counters plus the given cache's and
-// store's stats (either may be nil).
+// store's stats (either may be nil). Latency percentiles come straight
+// from the job histogram's buckets — no copy, no sort.
 func (m *Metrics) Snapshot(cache *DeploymentCache, st *store.Store) MetricsSnapshot {
-	m.mu.Lock()
-	n := m.next
-	if m.filled {
-		n = len(m.samples)
-	}
-	sorted := make([]time.Duration, n)
-	copy(sorted, m.samples[:n])
-	m.mu.Unlock()
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-
+	lat := m.jobLatency.Snapshot()
 	snap := MetricsSnapshot{
 		Requests:     m.requests.Load(),
 		Jobs:         m.jobs.Load(),
 		JobErrors:    m.jobErrors.Load(),
 		InFlight:     m.inFlight.Load(),
-		P50LatencyMS: float64(percentile(sorted, 0.50)) / float64(time.Millisecond),
-		P95LatencyMS: float64(percentile(sorted, 0.95)) / float64(time.Millisecond),
+		P50LatencyMS: float64(lat.Quantile(0.50)) / float64(time.Millisecond),
+		P95LatencyMS: float64(lat.Quantile(0.95)) / float64(time.Millisecond),
+		P99LatencyMS: float64(lat.Quantile(0.99)) / float64(time.Millisecond),
 		Engine:       m.engineThroughput(),
 	}
 	if cache != nil {

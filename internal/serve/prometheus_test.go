@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// promLine accepts one Prometheus text-format 0.0.4 sample line:
+// name{label="value",...} value.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [^ ]+$`)
+
+// TestMetricsPrometheusExposition drives real traffic through a service
+// and checks that GET /metrics?format=prometheus emits grammatical text
+// exposition covering every subsystem registered on the node.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	ts, svc := testServer(t, 2)
+
+	// Generate a sample first: one real run through the scheduler.
+	resp, _ := postJSON(t, ts.URL+"/v1/run", RunRequest{
+		Config: "Hetero2", Method: svc.MethodInfos()[0].Signature,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed run: status %d", resp.StatusCode)
+	}
+
+	res, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics?format=prometheus: status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text/plain; version=0.0.4", ct)
+	}
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	// Every non-comment line must match the exposition grammar.
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("ungrammatical exposition line: %q", line)
+		}
+	}
+
+	// One registry covers every subsystem wired on this node.
+	for _, name := range []string{
+		"javaflow_http_requests_total",
+		"javaflow_http_request_duration_seconds_bucket",
+		"javaflow_http_request_duration_seconds_sum",
+		"javaflow_http_request_duration_seconds_count",
+		"javaflow_jobs_total",
+		"javaflow_job_duration_seconds_bucket",
+		"javaflow_jobs_inflight",
+		"javaflow_cache_hits_total",
+		"javaflow_engine_runs_total",
+		"javaflow_engine_mesh_cycles_total",
+		"javaflow_trace_spans_total",
+		"javaflow_goroutines",
+		"javaflow_heap_alloc_bytes",
+	} {
+		if !strings.Contains(body, "\n"+name) && !strings.HasPrefix(body, name) {
+			t.Errorf("exposition is missing %s", name)
+		}
+	}
+
+	// The seeded run must be visible: at least one job counted, and the
+	// histogram's +Inf bucket must agree with its _count.
+	if !strings.Contains(body, `javaflow_http_request_duration_seconds_bucket{endpoint="POST /v1/run",le="+Inf"}`) {
+		t.Error(`missing +Inf bucket for endpoint="POST /v1/run"`)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"javaflow/internal/classfile"
 	"javaflow/internal/fabric"
+	"javaflow/internal/obs"
 	"javaflow/internal/sim"
 	"javaflow/internal/store"
 )
@@ -97,7 +98,9 @@ func NewScheduler(opts SchedulerOptions) *Scheduler {
 	}
 	if opts.Store != nil {
 		cache.SetStore(opts.Store)
+		opts.Store.RegisterMetrics(metrics.Registry())
 	}
+	registerCacheMetrics(metrics.Registry(), cache)
 	return &Scheduler{
 		workers:       workers,
 		maxMeshCycles: maxCycles,
@@ -105,6 +108,22 @@ func NewScheduler(opts SchedulerOptions) *Scheduler {
 		metrics:       metrics,
 		store:         opts.Store,
 	}
+}
+
+// registerCacheMetrics exposes the deployment cache's counters in the
+// node registry. Re-registration over a shared cache replaces the
+// readers, so two schedulers over one cache never duplicate series.
+func registerCacheMetrics(reg *obs.Registry, cache *DeploymentCache) {
+	reg.CounterFunc("javaflow_cache_hits_total", "Deployment-cache hits.",
+		func() float64 { return float64(cache.Stats().Hits) })
+	reg.CounterFunc("javaflow_cache_misses_total", "Deployment-cache misses.",
+		func() float64 { return float64(cache.Stats().Misses) })
+	reg.CounterFunc("javaflow_cache_store_hits_total", "Cache misses answered by the persistent store.",
+		func() float64 { return float64(cache.Stats().StoreHits) })
+	reg.CounterFunc("javaflow_cache_evictions_total", "Deployment-cache evictions.",
+		func() float64 { return float64(cache.Stats().Evictions) })
+	reg.GaugeFunc("javaflow_cache_entries", "Deployments currently cached.",
+		func() float64 { return float64(cache.Stats().Entries) })
 }
 
 // Cache exposes the scheduler's deployment cache.
@@ -164,6 +183,9 @@ func (s *Scheduler) RunMethodCycles(ctx context.Context, cfg sim.Config, m *clas
 		maxCycles = s.maxMeshCycles
 	}
 	start := s.metrics.JobStarted()
+	ctx, span := s.metrics.Tracer().StartSpan(ctx, "job.run")
+	span.SetAttr("config", cfg.Name)
+	span.SetAttr("method", m.Signature())
 
 	// Read through the persistent store: a run persisted by an earlier
 	// process life (or another configuration sharing this geometry and
@@ -177,6 +199,8 @@ func (s *Scheduler) RunMethodCycles(ctx context.Context, cfg sim.Config, m *clas
 			run.BP1.Config = cfg.Name
 			run.BP2.Config = cfg.Name
 			s.metrics.JobFinished(start, nil)
+			span.SetAttr("outcome", "warm")
+			span.End(nil)
 			return run, nil
 		}
 	}
@@ -186,7 +210,25 @@ func (s *Scheduler) RunMethodCycles(ctx context.Context, cfg sim.Config, m *clas
 	if err == nil && s.store != nil {
 		s.store.PutRun(key, run)
 	}
+	span.SetAttr("outcome", jobOutcome(err))
+	span.End(err)
 	return run, err
+}
+
+// jobOutcome classifies a job error for span attributes: cold engine
+// runs, fabric rejections, cancellations, and everything else.
+func jobOutcome(err error) string {
+	if err == nil {
+		return "cold"
+	}
+	var le *fabric.LoadError
+	if errors.As(err, &le) {
+		return "rejected"
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return "canceled"
+	}
+	return "error"
 }
 
 // RunBatch executes jobs across the worker pool and returns one result per
