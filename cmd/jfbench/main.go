@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -59,6 +60,16 @@ func main() {
 		sweepDig  = flag.Bool("sweep-digest", false, "run the legacy hard-coded sweep path and print per-configuration result digests (for catalog-equivalence checks)")
 	)
 	flag.Parse()
+
+	if err := validateFlags(map[string]flagBound{
+		"-scale":     {*scale, 1},
+		"-gen":       {*gen, 0},
+		"-maxcycles": {*cycles, 1},
+		"-workers":   {*workers, 1},
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "jfbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	ctx := experiments.NewContext()
 	ctx.Scale = *scale
@@ -337,4 +348,26 @@ func reportStore(ctx *experiments.Context) {
 			"jfbench: warning: %d store writes failed; results may not be reusable (ctx.Close reports the first error)\n",
 			stats.PutErrors)
 	}
+}
+
+// flagBound pairs a flag's parsed value with the smallest value it
+// accepts.
+type flagBound struct {
+	value, min int
+}
+
+// validateFlags rejects out-of-range numeric flags with one clear error
+// naming every offender, before any sweep state is built.
+func validateFlags(bounds map[string]flagBound) error {
+	var bad []string
+	for name, b := range bounds {
+		if b.value < b.min {
+			bad = append(bad, fmt.Sprintf("%s must be >= %d, got %d", name, b.min, b.value))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("invalid flags: %s", strings.Join(bad, "; "))
 }

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(map[string]flagBound{
+		"-workers": {8, 1}, "-gen": {0, 0},
+	}); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	err := validateFlags(map[string]flagBound{
+		"-workers":   {0, 1},
+		"-maxcycles": {-5, 1},
+		"-gen":       {100, 0},
+	})
+	if err == nil {
+		t.Fatal("out-of-range flags accepted")
+	}
+	for _, want := range []string{
+		"-workers must be >= 1, got 0",
+		"-maxcycles must be >= 1, got -5",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	if strings.Contains(err.Error(), "-gen") {
+		t.Fatalf("in-range flag named in error: %v", err)
+	}
+}

@@ -54,10 +54,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
+	"javaflow/internal/admit"
 	"javaflow/internal/dispatch"
 	"javaflow/internal/replicate"
 	"javaflow/internal/scenario"
@@ -86,8 +88,25 @@ func main() {
 		gossipD  = flag.Bool("gossip-disable", false, "disable push/gossip notifications, leaving pull-only anti-entropy")
 		advert   = flag.String("advertise", "", "base URL peers reach this node at, stamped on gossip notifications (default derived from -addr)")
 		debugA   = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof (e.g. 127.0.0.1:6060; empty = disabled)")
+		runCap   = flag.Int("run-cap", 0, "max in-flight /v1/run requests before typed 429 shedding (0 = 256)")
+		batchCap = flag.Int("batch-cap", 0, "max in-flight /v1/batch requests before typed 429 shedding (0 = 4)")
+		replCap  = flag.Int("replicate-cap", 0, "max in-flight /v1/replicate requests before typed 429 shedding (0 = 32)")
 	)
 	flag.Parse()
+
+	if err := validateFlags(map[string]flagBound{
+		"-workers":       {*workers, 1},
+		"-cache":         {*cacheN, 1},
+		"-gen":           {*gen, 0},
+		"-maxcycles":     {*cycles, 1},
+		"-peer-inflight": {*inflight, 0},
+		"-run-cap":       {*runCap, 0},
+		"-batch-cap":     {*batchCap, 0},
+		"-replicate-cap": {*replCap, 0},
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "jfserved: %v\n", err)
+		os.Exit(2)
+	}
 
 	var st *store.Store
 	if *stDir != "" {
@@ -116,6 +135,16 @@ func main() {
 		Store:         st,
 	})
 	svc := serve.NewService(sched, sim.Configurations(), methods)
+	// Bounded admission: beyond the per-class caps, requests shed with a
+	// typed 429 and a Retry-After derived from observed service rates,
+	// instead of queueing until the fleet collapses.
+	svc.SetAdmission(admit.New(admit.Options{
+		RunCap:       *runCap,
+		BatchCap:     *batchCap,
+		ReplicateCap: *replCap,
+		Parallelism:  *workers,
+		Registry:     sched.Metrics().Registry(),
+	}))
 	// Scenario catalog entries resolve against this node's own corpus
 	// parameters, so scenario-keyed batches sweep exactly the methods the
 	// daemon serves.
@@ -260,6 +289,28 @@ func advertiseURL(advertise, addr string) string {
 		host = "127.0.0.1"
 	}
 	return "http://" + net.JoinHostPort(host, port)
+}
+
+// flagBound pairs a flag's parsed value with the smallest value it
+// accepts.
+type flagBound struct {
+	value, min int
+}
+
+// validateFlags rejects out-of-range numeric flags with one clear error
+// naming every offender, before any state (store, listeners) is touched.
+func validateFlags(bounds map[string]flagBound) error {
+	var bad []string
+	for name, b := range bounds {
+		if b.value < b.min {
+			bad = append(bad, fmt.Sprintf("%s must be >= %d, got %d", name, b.min, b.value))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("invalid flags: %s", strings.Join(bad, "; "))
 }
 
 // splitPeers parses the -peers flag, tolerating spaces and empty entries.

@@ -1,0 +1,71 @@
+package admit
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DeadlineHeader carries a request's absolute deadline across hops as
+// unix milliseconds UTC. It is minted at ingress from the client
+// context and re-injected on every outbound dispatch and replicate
+// call, so a hop never starts work its caller can't wait for.
+const DeadlineHeader = "X-Javaflow-Deadline"
+
+// MaxDeadlineAhead bounds how far in the future a wire deadline may be.
+// Anything beyond it is treated as "no deadline": a deadline a day out
+// constrains nothing, and a hostile 64-bit value must not poison the
+// context math.
+const MaxDeadlineAhead = 24 * time.Hour
+
+// FormatDeadline renders an absolute deadline for the wire.
+func FormatDeadline(t time.Time) string {
+	return strconv.FormatInt(t.UnixMilli(), 10)
+}
+
+// ParseDeadline interprets a wire value against the given clock.
+// Malformed or hostile values — non-integer, non-positive, or further
+// than MaxDeadlineAhead in the future — parse to "no deadline"
+// (ok=false): a peer's bad clock or a garbage header must degrade to
+// the pre-deadline behavior, never to a wedged or instantly-shed
+// request. A valid deadline in the past IS returned (ok=true); that is
+// the expired-on-arrival case the caller sheds.
+func ParseDeadline(value string, now time.Time) (time.Time, bool) {
+	if value == "" {
+		return time.Time{}, false
+	}
+	ms, err := strconv.ParseInt(value, 10, 64)
+	if err != nil || ms <= 0 {
+		return time.Time{}, false
+	}
+	t := time.UnixMilli(ms)
+	if t.Sub(now) > MaxDeadlineAhead {
+		return time.Time{}, false
+	}
+	return t, true
+}
+
+// FromRequest extracts the wire deadline from an inbound request.
+func FromRequest(r *http.Request, now time.Time) (time.Time, bool) {
+	return ParseDeadline(r.Header.Get(DeadlineHeader), now)
+}
+
+// Inject stamps ctx's deadline (if any) onto an outbound request, so
+// dispatch hops and replicate pulls inherit the ingress deadline
+// without each call site knowing the wire format.
+func Inject(req *http.Request, ctx context.Context) {
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set(DeadlineHeader, FormatDeadline(dl))
+	}
+}
+
+// WithDeadline applies a parsed wire deadline to a context, keeping any
+// earlier deadline already present (a hop may only tighten, never
+// extend, its caller's budget).
+func WithDeadline(ctx context.Context, dl time.Time) (context.Context, context.CancelFunc) {
+	if cur, ok := ctx.Deadline(); ok && cur.Before(dl) {
+		return context.WithCancel(ctx)
+	}
+	return context.WithDeadline(ctx, dl)
+}

@@ -1,0 +1,165 @@
+package admit
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryBudget is a token bucket bounding how fast a caller may retry
+// against one backend. Retries spend from the bucket; the bucket
+// refills at a steady rate, so a dead backend sees at most the refill
+// rate of extra pressure instead of one retry per failed request —
+// retry amplification decays exactly when the backend is sickest.
+// A nil *RetryBudget always allows (legacy behavior preserved).
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	rate   float64 // tokens per second
+	last   time.Time
+	now    func() time.Time
+	spent  int64
+	denied int64
+}
+
+// DefaultRetryBurst / DefaultRetryRate: allow a short burst of retries
+// during a transient blip, then throttle to one every two seconds.
+const (
+	DefaultRetryBurst = 4
+	DefaultRetryRate  = 0.5
+)
+
+// NewRetryBudget builds a bucket holding burst tokens refilled at rate
+// per second, starting full. Non-positive arguments use the defaults;
+// now is the clock (nil uses time.Now, tests inject a fake).
+func NewRetryBudget(burst int, rate float64, now func() time.Time) *RetryBudget {
+	if burst <= 0 {
+		burst = DefaultRetryBurst
+	}
+	if rate <= 0 {
+		rate = DefaultRetryRate
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &RetryBudget{
+		tokens: float64(burst),
+		burst:  float64(burst),
+		rate:   rate,
+		last:   now(),
+		now:    now,
+	}
+}
+
+// Allow consumes one token if available. false means the budget is
+// exhausted and the caller must skip the retry (fall back, don't wait).
+func (b *RetryBudget) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		b.denied++
+		return false
+	}
+	b.tokens--
+	b.spent++
+	return true
+}
+
+// Counters reports lifetime spent/denied tokens (for stats exposure).
+func (b *RetryBudget) Counters() (spent, denied int64) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent, b.denied
+}
+
+// Backoff produces decorrelated-jitter delays (AWS style):
+//
+//	sleep = min(cap, rand(base, prev*3))
+//
+// Consecutive failures push the delay up exponentially on average while
+// the jitter decorrelates callers, so a recovering backend sees a
+// spread-out trickle of probes rather than a synchronized thundering
+// herd. A nil *Backoff yields zero delays.
+type Backoff struct {
+	mu   sync.Mutex
+	base time.Duration
+	cap  time.Duration
+	prev time.Duration
+	rand func() float64
+}
+
+// DefaultBackoffBase / DefaultBackoffCap bound probe cadence: first
+// retry ~250ms out, never more than 30s between probes.
+const (
+	DefaultBackoffBase = 250 * time.Millisecond
+	DefaultBackoffCap  = 30 * time.Second
+)
+
+// NewBackoff builds a backoff with the given base and cap (non-positive
+// uses the defaults). rnd returns uniform [0,1); nil uses math/rand.
+func NewBackoff(base, capD time.Duration, rnd func() float64) *Backoff {
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if capD <= 0 {
+		capD = DefaultBackoffCap
+	}
+	if capD < base {
+		capD = base
+	}
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	return &Backoff{base: base, cap: capD, rand: rnd}
+}
+
+// Next returns the delay to wait before the next attempt, advancing the
+// decorrelated state.
+func (b *Backoff) Next() time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	prev := b.prev
+	if prev < b.base {
+		prev = b.base
+	}
+	hi := 3 * prev
+	if hi > b.cap {
+		hi = b.cap
+	}
+	d := b.base
+	if hi > b.base {
+		d = b.base + time.Duration(b.rand()*float64(hi-b.base))
+	}
+	if d > b.cap {
+		d = b.cap
+	}
+	b.prev = d
+	return d
+}
+
+// Reset returns the backoff to its initial state after a success, so
+// the next failure starts the ladder from base again.
+func (b *Backoff) Reset() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.prev = 0
+	b.mu.Unlock()
+}

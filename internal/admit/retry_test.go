@@ -1,0 +1,127 @@
+package admit
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryBudgetSpendAndRefill(t *testing.T) {
+	clock := newFakeClock()
+	b := NewRetryBudget(2, 1.0, clock.Now) // 2 burst, 1 token/s
+
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("burst tokens should allow")
+	}
+	if b.Allow() {
+		t.Fatal("third retry should be denied: budget exhausted")
+	}
+
+	// Refill at 1 token/s: after 500ms still denied, after 1s allowed.
+	clock.Advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("allowed before a full token refilled")
+	}
+	clock.Advance(600 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("denied after a full token refilled")
+	}
+
+	// Refill never exceeds burst.
+	clock.Advance(time.Hour)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("burst should be available after long idle")
+	}
+	if b.Allow() {
+		t.Fatal("idle refill exceeded burst capacity")
+	}
+
+	spent, denied := b.Counters()
+	if spent != 5 || denied != 3 {
+		t.Fatalf("counters = (%d spent, %d denied), want (5, 3)", spent, denied)
+	}
+}
+
+func TestRetryBudgetNeverExceedsBudget(t *testing.T) {
+	// Acceptance criterion: a dead backend hammered with N failures sees
+	// at most burst + refill·elapsed retries, never one per failure.
+	clock := newFakeClock()
+	b := NewRetryBudget(4, 0.5, clock.Now)
+
+	allowed := 0
+	for i := 0; i < 100; i++ {
+		if b.Allow() {
+			allowed++
+		}
+		clock.Advance(100 * time.Millisecond) // 10 failures/s against 0.5 tokens/s
+	}
+	// 4 burst + 0.5/s × 10s ≈ 9; leave headroom for boundary effects.
+	if allowed > 10 {
+		t.Fatalf("allowed %d retries across 100 failures, budget should cap near 9", allowed)
+	}
+	if allowed < 4 {
+		t.Fatalf("allowed %d, burst of 4 should always be spendable", allowed)
+	}
+}
+
+func TestNilBudgetAlwaysAllows(t *testing.T) {
+	var b *RetryBudget
+	for i := 0; i < 10; i++ {
+		if !b.Allow() {
+			t.Fatal("nil budget must always allow")
+		}
+	}
+}
+
+func TestBackoffDecorrelatedJitterSpacing(t *testing.T) {
+	// Deterministic rand at the top of the range: delays grow 3× per
+	// step (the decorrelated recurrence's ceiling) and clamp at cap.
+	b := NewBackoff(100*time.Millisecond, 2*time.Second, func() float64 { return 1.0 })
+
+	var prev time.Duration
+	for i := 0; i < 10; i++ {
+		d := b.Next()
+		if d < 100*time.Millisecond || d > 2*time.Second {
+			t.Fatalf("step %d: delay %v outside [base, cap]", i, d)
+		}
+		if i > 0 && d < prev && prev < 2*time.Second {
+			t.Fatalf("step %d: delay %v shrank from %v before reaching cap", i, d, prev)
+		}
+		prev = d
+	}
+	if prev != 2*time.Second {
+		t.Fatalf("after 10 steps delay = %v, want clamped at cap", prev)
+	}
+
+	// Reset restarts the ladder: first delay back in [base, 3·base].
+	b.Reset()
+	if d := b.Next(); d > 300*time.Millisecond {
+		t.Fatalf("post-reset first delay %v, want within 3x base", d)
+	}
+}
+
+func TestBackoffJitterVaries(t *testing.T) {
+	// With real randomness replaced by a sequence, distinct draws give
+	// distinct delays — callers decorrelate instead of thundering.
+	seq := []float64{0.1, 0.9, 0.5}
+	i := 0
+	b := NewBackoff(100*time.Millisecond, 10*time.Second, func() float64 {
+		v := seq[i%len(seq)]
+		i++
+		return v
+	})
+	seen := map[time.Duration]bool{}
+	for j := 0; j < 3; j++ {
+		seen[b.Next()] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("3 draws produced %d distinct delays, want jittered spread", len(seen))
+	}
+}
+
+func TestBackoffNilSafe(t *testing.T) {
+	var b *Backoff
+	if d := b.Next(); d != 0 {
+		t.Fatalf("nil backoff Next = %v, want 0", d)
+	}
+	b.Reset()
+}

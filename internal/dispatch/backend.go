@@ -6,9 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"time"
 
+	"javaflow/internal/admit"
 	"javaflow/internal/obs"
 	"javaflow/internal/serve"
 	"javaflow/internal/sim"
@@ -42,13 +45,26 @@ type Remote struct {
 	client *http.Client
 }
 
+// defaultRemoteClient serves NewRemote callers that pass no client. No
+// overall timeout — a cold sweep job can legitimately simulate for a long
+// time, so per-request lifetimes come from the dispatch context — but the
+// transport bounds connection establishment and time-to-first-header, so
+// a dead or wedged peer fails the attempt instead of pinning an inflight
+// slot indefinitely.
+var defaultRemoteClient = &http.Client{Transport: &http.Transport{
+	DialContext:           (&net.Dialer{Timeout: defaultDialTimeout}).DialContext,
+	ResponseHeaderTimeout: defaultResponseHeaderTimeout,
+	MaxIdleConnsPerHost:   defaultInflight,
+	IdleConnTimeout:       90 * time.Second,
+}}
+
 // NewRemote builds a backend for the jfserved instance at baseURL. A nil
-// client uses http.DefaultClient; either way per-request lifetimes come
-// from the dispatch context, not a client timeout, because a cold sweep
-// job can legitimately simulate for a long time.
+// client uses a shared default with transport-level dial and
+// response-header timeouts (but no overall request timeout; see
+// defaultRemoteClient).
 func NewRemote(baseURL string, client *http.Client) *Remote {
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultRemoteClient
 	}
 	return &Remote{base: strings.TrimRight(baseURL, "/"), client: client}
 }
@@ -79,8 +95,10 @@ func (r *Remote) Run(ctx context.Context, job serve.Job, maxCycles int) (sim.Met
 	// not recurse).
 	req.Header.Set(serve.DispatchedHeader, "1")
 	// Carry the caller's trace across the wire so the peer's server span
-	// joins the same trace one hop deeper.
+	// joins the same trace one hop deeper, and the caller's deadline so
+	// the peer sheds work this hop can no longer wait for.
 	obs.Inject(req, ctx)
+	admit.Inject(req, ctx)
 
 	resp, err := r.client.Do(req)
 	if err != nil {

@@ -10,28 +10,36 @@
 // deployment cache (and persistent store) hot for it, and adding a peer
 // only moves the keys the new peer takes over. Jobs fan out concurrently
 // with per-backend bounded inflight; a job that fails transiently (peer
-// down, 5xx, network error) is retried once on the next node clockwise,
-// and if that also fails it runs on the local scheduler — so a sweep
-// completes, with identical results, even with every peer unreachable.
-// Results are merged in submission order, byte-identical to the
-// single-node serial path.
+// down, 5xx, network error) is retried once on the next node clockwise —
+// but only while the failed backend's token-bucket retry budget has
+// tokens, so a dead backend sees at most the bucket's refill rate of
+// extra fleet pressure, not one retry per failed job. A job whose retry
+// is denied (or whose retry also fails) runs on the local scheduler — so
+// a sweep completes, with identical results, even with every peer
+// unreachable. Results are merged in submission order, byte-identical to
+// the single-node serial path.
 //
 // Backends that keep failing are suspended after failureThreshold
 // consecutive errors; a suspended backend is skipped at routing time (its
 // keys shift to the next node clockwise, nobody else's move) and probed
-// with a real job every probeEvery skips so it rejoins once healthy.
+// with a real job on a decorrelated-jitter backoff schedule — delays grow
+// exponentially on average while the jitter spreads probes out — so it
+// rejoins once healthy without the fleet's probes synchronizing into a
+// thundering herd.
 package dispatch
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/url"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"javaflow/internal/admit"
 	"javaflow/internal/fabric"
 	"javaflow/internal/obs"
 	"javaflow/internal/serve"
@@ -42,7 +50,14 @@ import (
 const (
 	defaultInflight         = 8
 	defaultFailureThreshold = 3
-	defaultProbeEvery       = 64
+
+	// defaultDialTimeout / defaultResponseHeaderTimeout bound the default
+	// peer client. The dial bound is tight (a dead host must fail fast,
+	// not pin an inflight slot for the kernel's SYN patience); the header
+	// bound is generous because a cold /v1/run legitimately computes for
+	// minutes before its first response byte.
+	defaultDialTimeout           = 5 * time.Second
+	defaultResponseHeaderTimeout = 5 * time.Minute
 )
 
 // Options configures a Dispatcher.
@@ -66,9 +81,33 @@ type Options struct {
 	// FailureThreshold suspends a backend after this many consecutive
 	// transient failures (<=0 uses 3).
 	FailureThreshold int
-	// ProbeEvery routes every Nth job that would have skipped a suspended
-	// backend to it anyway, so recovered peers rejoin (<=0 uses 64).
-	ProbeEvery int
+	// ProbeBackoffBase / ProbeBackoffCap bound the decorrelated-jitter
+	// schedule of suspension probes: a suspended backend is probed with a
+	// real job no sooner than the current backoff delay after its last
+	// failure, with the delay growing (jittered, up to 3× per step) toward
+	// the cap while failures continue and resetting on success (<=0 uses
+	// admit.DefaultBackoffBase / admit.DefaultBackoffCap).
+	ProbeBackoffBase time.Duration
+	ProbeBackoffCap  time.Duration
+	// RetryBurst / RetryRate configure each backend's retry token bucket:
+	// a transient failure may reroute its job to another node only while
+	// the failed backend's budget has a token (burst capacity RetryBurst,
+	// refilled at RetryRate tokens per second; <=0 uses
+	// admit.DefaultRetryBurst / admit.DefaultRetryRate). An exhausted
+	// budget sends the job straight to the warm-local/local fallback —
+	// completion and byte-identity hold either way, the budget only
+	// bounds how hard the rest of the fleet is hit on a backend's behalf.
+	RetryBurst int
+	RetryRate  float64
+	// DialTimeout / ResponseHeaderTimeout bound the default peer client's
+	// connection establishment and time-to-first-header (<=0 uses 5s /
+	// 5m). Ignored when Client is set.
+	DialTimeout           time.Duration
+	ResponseHeaderTimeout time.Duration
+	// Now and Rand are test seams for the probe schedule and its jitter
+	// (nil uses time.Now and math/rand).
+	Now  func() time.Time
+	Rand func() float64
 	// WarmLocal, when set, reports whether the local persistent store can
 	// already serve job's result warm — e.g. a record anti-entropy
 	// replication (internal/replicate) pulled from the fleet, or one this
@@ -119,9 +158,17 @@ type backendState struct {
 	b   Backend
 	sem chan struct{} // bounded inflight
 
+	// retryBudget bounds how often jobs failing here may be rerouted to
+	// other nodes; probeBackoff schedules suspension probes; nextProbe is
+	// the earliest unix-nano instant the next probe may fire.
+	retryBudget  *admit.RetryBudget
+	probeBackoff *admit.Backoff
+	nextProbe    atomic.Int64
+
 	jobs        atomic.Int64 // jobs this backend completed (incl. rejections)
 	errs        atomic.Int64 // transient failures observed here
 	retriedAway atomic.Int64 // jobs rerouted after failing here
+	retryDenied atomic.Int64 // reroutes denied by the exhausted retry budget
 	consecFails atomic.Int64 // current consecutive-failure streak
 	probeSkips  atomic.Int64 // routing decisions that skipped this backend while suspended
 }
@@ -135,7 +182,7 @@ type Dispatcher struct {
 	localSem chan struct{}
 
 	failureThreshold int64
-	probeEvery       int64
+	now              func() time.Time
 
 	warmLocal   func(job serve.Job, maxCycles int) bool
 	syncedPeers func() []string
@@ -146,6 +193,7 @@ type Dispatcher struct {
 
 	localFallbacks atomic.Int64
 	retries        atomic.Int64
+	retryDenials   atomic.Int64
 	warmLocalHits  atomic.Int64
 	warmRetries    atomic.Int64
 	handoffHints   atomic.Int64
@@ -168,9 +216,24 @@ func New(opts Options) (*Dispatcher, error) {
 		if inflight <= 0 {
 			inflight = defaultInflight
 		}
+		dial := opts.DialTimeout
+		if dial <= 0 {
+			dial = defaultDialTimeout
+		}
+		header := opts.ResponseHeaderTimeout
+		if header <= 0 {
+			header = defaultResponseHeaderTimeout
+		}
+		// No overall client timeout: a cold job legitimately computes for
+		// minutes and the per-request lifetime comes from the dispatch
+		// context. The transport bounds are what keep a hung peer from
+		// pinning an inflight slot forever: a dead host fails at the dial
+		// bound, a wedged one at the time-to-first-header bound.
 		client = &http.Client{Transport: &http.Transport{
-			MaxIdleConns:        inflight * (len(opts.Peers) + 1),
-			MaxIdleConnsPerHost: inflight,
+			DialContext:           (&net.Dialer{Timeout: dial}).DialContext,
+			ResponseHeaderTimeout: header,
+			MaxIdleConns:          inflight * (len(opts.Peers) + 1),
+			MaxIdleConnsPerHost:   inflight,
 		}}
 	}
 	backends := make([]Backend, 0, len(opts.Peers))
@@ -204,15 +267,15 @@ func NewWithBackends(backends []Backend, opts Options) (*Dispatcher, error) {
 	if threshold <= 0 {
 		threshold = defaultFailureThreshold
 	}
-	probe := opts.ProbeEvery
-	if probe <= 0 {
-		probe = defaultProbeEvery
+	now := opts.Now
+	if now == nil {
+		now = time.Now
 	}
 	d := &Dispatcher{
 		local:            opts.Local,
 		localSem:         make(chan struct{}, opts.Local.Workers()),
 		failureThreshold: int64(threshold),
-		probeEvery:       int64(probe),
+		now:              now,
 		warmLocal:        opts.WarmLocal,
 		syncedPeers:      opts.SyncedPeers,
 		hints:            opts.Hints,
@@ -222,8 +285,10 @@ func NewWithBackends(backends []Backend, opts Options) (*Dispatcher, error) {
 	for i, b := range backends {
 		names[i] = b.Name()
 		d.backends = append(d.backends, &backendState{
-			b:   b,
-			sem: make(chan struct{}, inflight),
+			b:            b,
+			sem:          make(chan struct{}, inflight),
+			retryBudget:  admit.NewRetryBudget(opts.RetryBurst, opts.RetryRate, now),
+			probeBackoff: admit.NewBackoff(opts.ProbeBackoffBase, opts.ProbeBackoffCap, opts.Rand),
 		})
 	}
 	d.ring = newRing(names, opts.Replicas)
@@ -242,6 +307,8 @@ func (d *Dispatcher) register(reg *obs.Registry) {
 	}
 	reg.CounterFunc("javaflow_dispatch_retries_total", "Jobs that needed a second node.",
 		func() float64 { return float64(d.retries.Load()) })
+	reg.CounterFunc("javaflow_dispatch_retry_budget_denied_total", "Network retries denied by an exhausted per-backend retry budget.",
+		func() float64 { return float64(d.retryDenials.Load()) })
 	reg.CounterFunc("javaflow_dispatch_local_fallbacks_total", "Jobs that ended on the in-process scheduler.",
 		func() float64 { return float64(d.localFallbacks.Load()) })
 	reg.CounterFunc("javaflow_dispatch_suspensions_total", "Backends crossing the consecutive-failure threshold into suspension.",
@@ -282,14 +349,26 @@ func (d *Dispatcher) HealthyPeers(ctx context.Context) int {
 }
 
 // suspended reports whether routing should skip backend i, with the probe
-// escape hatch: every probeEvery-th skip routes a real job there anyway so
-// a recovered peer rejoins without an external health checker.
+// escape hatch: once the backend's decorrelated-jitter backoff delay has
+// elapsed since its last failure, exactly one routing decision (the CAS
+// winner) sends a real job there, so a recovered peer rejoins without an
+// external health checker and a still-dead one is probed on a decaying —
+// never synchronized — cadence.
 func (d *Dispatcher) suspended(i int) bool {
 	bs := d.backends[i]
 	if bs.consecFails.Load() < d.failureThreshold {
 		return false
 	}
-	return bs.probeSkips.Add(1)%d.probeEvery != 0
+	now := d.now().UnixNano()
+	next := bs.nextProbe.Load()
+	if now >= next && bs.nextProbe.CompareAndSwap(next, now+int64(bs.probeBackoff.Next())) {
+		// This routing decision is the probe. If it fails, attempt()
+		// pushes nextProbe further out; if it succeeds, the suspension
+		// lifts and the backoff resets.
+		return false
+	}
+	bs.probeSkips.Add(1)
+	return true
 }
 
 // route picks the ring owner for sig, skipping exclude (-1 for none) and
@@ -304,13 +383,17 @@ func (d *Dispatcher) route(sig string, exclude int) int {
 // Rejections are real results (the fabric refused the method — every node
 // agrees), and cancellation is the caller's choice; everything else is a
 // backend problem.
-func transient(err error) bool {
+func transient(ctx context.Context, err error) bool {
 	var le *fabric.LoadError
 	if errors.As(err, &le) {
 		return false
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return false
+		// Terminal only when the caller itself gave up: net/http's
+		// transport timeouts (e.g. awaiting response headers) also match
+		// context.DeadlineExceeded, and those are the peer's failure —
+		// with a live caller context the job must be retried elsewhere.
+		return ctx.Err() == nil
 	}
 	return true
 }
@@ -318,11 +401,11 @@ func transient(err error) bool {
 // outcomeOf classifies an attempt result for histogram labels and span
 // attributes. Every attempt lands in the histogram — failed and rejected
 // ones included, so future load-adaptive routing sees failure latency.
-func outcomeOf(err error) string {
+func outcomeOf(ctx context.Context, err error) string {
 	switch {
 	case err == nil:
 		return "ok"
-	case !transient(err):
+	case !transient(ctx, err):
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return "canceled"
 		}
@@ -349,21 +432,26 @@ func (d *Dispatcher) attempt(ctx context.Context, i int, job serve.Job, maxCycle
 	span.SetAttr("backend", bs.b.Name())
 	start := time.Now()
 	run, err := bs.b.Run(ctx, job, maxCycles)
-	outcome := outcomeOf(err)
+	outcome := outcomeOf(ctx, err)
 	d.attemptHist.With(bs.b.Name(), outcome).Record(time.Since(start))
 	span.SetAttr("outcome", outcome)
-	if err != nil && transient(err) {
+	if err != nil && transient(ctx, err) {
 		span.End(err)
 		bs.errs.Add(1)
 		if bs.consecFails.Add(1) == d.failureThreshold {
 			d.suspensions.Add(1)
 		}
+		// Push the next probe out on the jittered schedule; while the
+		// streak continues each failed probe lands further apart.
+		bs.nextProbe.Store(d.now().UnixNano() + int64(bs.probeBackoff.Next()))
 		return run, err
 	}
 	span.End(nil)
 	// Success — including a typed rejection, which proves the backend is
 	// healthy enough to have tried the deploy.
 	bs.jobs.Add(1)
+	bs.probeBackoff.Reset()
+	bs.nextProbe.Store(0)
 	if bs.consecFails.Swap(0) >= d.failureThreshold {
 		// This was the probe that caught a suspended backend recovering.
 		// Hand its hinted-handoff backlog over now, so its next
@@ -388,7 +476,7 @@ func (d *Dispatcher) runLocal(ctx context.Context, job serve.Job, maxCycles int)
 	defer func() { <-d.localSem }()
 	start := time.Now()
 	run, err := d.local.RunMethodCycles(ctx, job.Config, job.Method, maxCycles)
-	d.attemptHist.With("local", outcomeOf(err)).Record(time.Since(start))
+	d.attemptHist.With("local", outcomeOf(ctx, err)).Record(time.Since(start))
 	return run, err
 }
 
@@ -419,7 +507,7 @@ func (d *Dispatcher) runJobRouted(ctx context.Context, sig string, job serve.Job
 	first := d.route(sig, -1)
 	if first >= 0 {
 		run, err = d.attempt(ctx, first, job, maxCycles)
-		if err == nil || !transient(err) {
+		if err == nil || !transient(ctx, err) {
 			return run, first, err
 		}
 		d.retries.Add(1)
@@ -432,9 +520,15 @@ func (d *Dispatcher) runJobRouted(ctx context.Context, sig string, job serve.Job
 			run, err = d.runLocal(ctx, job, maxCycles)
 			return run, -1, err
 		}
-		if second := d.routeRetry(sig, first); second >= 0 {
+		// The network retry spends from the failed backend's token bucket:
+		// with the budget exhausted the job goes straight to the local
+		// fallback (same bytes, no retry amplification against the fleet).
+		if !d.backends[first].retryBudget.Allow() {
+			d.backends[first].retryDenied.Add(1)
+			d.retryDenials.Add(1)
+		} else if second := d.routeRetry(sig, first); second >= 0 {
 			run, err = d.attempt(ctx, second, job, maxCycles)
-			if err == nil || !transient(err) {
+			if err == nil || !transient(ctx, err) {
 				return run, second, err
 			}
 		}
@@ -575,6 +669,9 @@ type BackendStats struct {
 	Errors int64 `json:"errors"`
 	// RetriedAway counts jobs rerouted to another node after failing here.
 	RetriedAway int64 `json:"retriedAway"`
+	// RetryBudgetDenied counts reroutes this backend's exhausted token
+	// bucket sent to the local fallback instead of another node.
+	RetryBudgetDenied int64 `json:"retryBudgetDenied"`
 	// RingShare is the fraction of the hash keyspace this backend owns.
 	RingShare float64 `json:"ringShare"`
 	// Suspended reports whether routing currently skips this backend.
@@ -588,6 +685,9 @@ type Stats struct {
 	VirtualNodes int `json:"virtualNodes"`
 	// Retries counts jobs that needed a second node.
 	Retries int64 `json:"retries"`
+	// RetryBudgetDenials counts network retries the per-backend token
+	// buckets denied (those jobs fell back locally instead).
+	RetryBudgetDenials int64 `json:"retryBudgetDenials"`
 	// LocalFallbacks counts jobs that ended on the in-process scheduler.
 	LocalFallbacks int64 `json:"localFallbacks"`
 	// WarmLocalHits counts retries short-circuited by the local store
@@ -612,24 +712,26 @@ type Stats struct {
 func (d *Dispatcher) Stats() Stats {
 	shares := d.ring.shares()
 	s := Stats{
-		Backends:        make([]BackendStats, len(d.backends)),
-		VirtualNodes:    len(d.ring.points),
-		Retries:         d.retries.Load(),
-		LocalFallbacks:  d.localFallbacks.Load(),
-		WarmLocalHits:   d.warmLocalHits.Load(),
-		WarmRetries:     d.warmRetries.Load(),
-		HandoffHints:    d.handoffHints.Load(),
-		OwnerRecoveries: d.ownerRecovers.Load(),
-		Suspensions:     d.suspensions.Load(),
+		Backends:           make([]BackendStats, len(d.backends)),
+		VirtualNodes:       len(d.ring.points),
+		Retries:            d.retries.Load(),
+		RetryBudgetDenials: d.retryDenials.Load(),
+		LocalFallbacks:     d.localFallbacks.Load(),
+		WarmLocalHits:      d.warmLocalHits.Load(),
+		WarmRetries:        d.warmRetries.Load(),
+		HandoffHints:       d.handoffHints.Load(),
+		OwnerRecoveries:    d.ownerRecovers.Load(),
+		Suspensions:        d.suspensions.Load(),
 	}
 	for i, bs := range d.backends {
 		s.Backends[i] = BackendStats{
-			Name:        bs.b.Name(),
-			Jobs:        bs.jobs.Load(),
-			Errors:      bs.errs.Load(),
-			RetriedAway: bs.retriedAway.Load(),
-			RingShare:   shares[i],
-			Suspended:   bs.consecFails.Load() >= d.failureThreshold,
+			Name:              bs.b.Name(),
+			Jobs:              bs.jobs.Load(),
+			Errors:            bs.errs.Load(),
+			RetriedAway:       bs.retriedAway.Load(),
+			RetryBudgetDenied: bs.retryDenied.Load(),
+			RingShare:         shares[i],
+			Suspended:         bs.consecFails.Load() >= d.failureThreshold,
 		}
 	}
 	return s

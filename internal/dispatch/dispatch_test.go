@@ -479,18 +479,20 @@ func TestDispatchSelfPeerDoesNotRecurse(t *testing.T) {
 
 // TestDispatchSuspensionAndProbe: after FailureThreshold consecutive
 // failures a backend is skipped without burning a network attempt per job,
-// and the probe path sends it a real job again once healthy.
+// and the probe path sends it a real job again once healthy — but only
+// after the jittered backoff delay has elapsed on the test clock.
 func TestDispatchSuspensionAndProbe(t *testing.T) {
 	methods := testMethods(t, 6)
 	ts, _ := newPeer(t, methods)
 	flaky := &chaos.FlakyBackend{Inner: NewRemote(ts.URL, nil), FailAfter: -1}
 	flaky.Kill()
 
+	clock := newTestClock()
 	d, err := NewWithBackends([]Backend{flaky}, Options{
 		Local:            newLocalScheduler(),
 		FailureThreshold: 2,
-		ProbeEvery:       3,
 		MaxInflight:      1,
+		Now:              clock.Now,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -507,9 +509,19 @@ func TestDispatchSuspensionAndProbe(t *testing.T) {
 	}
 	errsAtSuspend := d.Stats().Backends[0].Errors
 
-	// While suspended, most jobs skip it entirely (no new errors)...
+	// While suspended and inside the backoff window, jobs skip it
+	// entirely (no new errors, no probes)...
 	flaky.Revive()
+	for i := 0; i < 5; i++ {
+		runOne()
+	}
+	if st := d.Stats(); !st.Backends[0].Suspended || st.Backends[0].Jobs != 0 {
+		t.Fatalf("backend probed before its backoff elapsed: %+v", st.Backends[0])
+	}
+	// ...then once the clock passes the jittered delay, the probe path
+	// routes a real job there and the suspension lifts.
 	for i := 0; i < 10; i++ {
+		clock.Advance(time.Minute)
 		runOne()
 	}
 	st := d.Stats()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"javaflow/internal/classfile"
 	"javaflow/internal/scenario/chaos"
@@ -42,11 +43,12 @@ func TestDispatchHintedHandoffSeam(t *testing.T) {
 	flaky := &chaos.FlakyBackend{Inner: NewRemote(ts1.URL, nil), FailAfter: -1}
 	hints := &hintLog{}
 
+	clock := newTestClock()
 	d, err := NewWithBackends([]Backend{flaky, NewRemote(ts2.URL, nil)}, Options{
 		Local:            newLocalScheduler(),
 		FailureThreshold: 1,
-		ProbeEvery:       2,
 		Hints:            hints,
+		Now:              clock.Now,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -87,11 +89,14 @@ func TestDispatchHintedHandoffSeam(t *testing.T) {
 	}
 	hints.mu.Unlock()
 
-	// The owner comes back, but dispatch does not know yet: the next job
-	// is still routed around the suspension (and hinted again); the one
-	// after is the probe, whose success must deliver the backlog.
+	// The owner comes back, but dispatch does not know yet: inside the
+	// probe backoff window the next job is still routed around the
+	// suspension (and hinted again); once the test clock passes the
+	// jittered delay, the next job is the probe, whose success must
+	// deliver the backlog.
 	flaky.Revive()
 	runOnce()
+	clock.Advance(time.Minute)
 	runOnce()
 	hints.mu.Lock()
 	defer hints.mu.Unlock()

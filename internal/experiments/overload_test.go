@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+
+	"javaflow/internal/scenario"
+)
+
+// TestOverloadDrills exercises the two overload-protection fault drills
+// (the catalog "overload" scenario's schedule) at test scale: the flood
+// must inject — at least one typed 429 with a sane Retry-After — and
+// recover with byte-identical admitted work and clean post-flood service;
+// the slow peer must be timed out at the transport and routed around.
+func TestOverloadDrills(t *testing.T) {
+	c := fastContext()
+	b := &scenario.Bundle{
+		Name:          "overload-test",
+		Tier:          scenario.TierAdversarial,
+		Workload:      scenario.WorkloadSpec{Suites: []string{"crypto.signverify"}},
+		Configs:       []string{"Compact2"},
+		MaxMeshCycles: 200_000,
+		Faults: []scenario.Fault{
+			{Kind: scenario.FaultOverload, Cap: 2, Flood: 8},
+			{Kind: scenario.FaultSlowPeer, DelayMs: 400},
+		},
+	}
+	res, err := b.Resolve(scenario.Defaults{Seed: 2014, GenCount: 8, MaxMeshCycles: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range b.Faults {
+		out, err := c.runFault(f, res)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Kind, err)
+		}
+		if !out.Injected {
+			t.Errorf("%s: fault did not inject: %s", f.Kind, out.Detail)
+		}
+		if !out.Recovered {
+			t.Errorf("%s: did not recover: %s", f.Kind, out.Detail)
+		}
+		t.Logf("%s: %s", f.Kind, out.Detail)
+	}
+}

@@ -1,14 +1,20 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"sync"
 	"time"
 
+	"javaflow/internal/admit"
 	"javaflow/internal/classfile"
 	"javaflow/internal/dispatch"
 	"javaflow/internal/fabric"
@@ -112,6 +118,10 @@ func (c *Context) runFault(f scenario.Fault, res *scenario.Resolved) (scenario.F
 		return c.drillStoreCorruption(f, res)
 	case scenario.FaultDeadlinePressure:
 		return c.drillDeadlinePressure(f, res)
+	case scenario.FaultOverload:
+		return c.drillOverload(f, res)
+	case scenario.FaultSlowPeer:
+		return c.drillSlowPeer(f, res)
 	default:
 		return scenario.FaultOutcome{}, fmt.Errorf("unknown fault kind %q", f.Kind)
 	}
@@ -584,6 +594,204 @@ func (c *Context) drillStoreCorruption(f scenario.Fault, res *scenario.Resolved)
 	out.Recovered = mismatched == 0
 	out.Detail = fmt.Sprintf("mode=%s lostRecords=%d mismatchedAfterRecompute=%d",
 		modeOrDefault(f.Mode), lost, mismatched)
+	return out, nil
+}
+
+// drillOverload floods a capped admission gate at 4x capacity (by default)
+// with concurrent /v1/run requests: the overflow must shed with typed 429s
+// carrying a positive integer Retry-After, nothing may 5xx, every admitted
+// request must return results byte-identical to a local run, and once the
+// flood drains a fresh request must be served normally with the run lane
+// back at depth zero.
+func (c *Context) drillOverload(f scenario.Fault, res *scenario.Resolved) (scenario.FaultOutcome, error) {
+	out := scenario.FaultOutcome{Kind: scenario.FaultOverload}
+	cfg := res.Configs[0]
+	capN := f.Cap
+	if capN == 0 {
+		capN = 2
+	}
+	flood := f.Flood
+	if flood == 0 {
+		flood = 4 * capN
+	}
+
+	// One hostable method for the whole flood, so every admitted response
+	// must carry the same bytes.
+	var m *classfile.Method
+	for _, cand := range drillMethods(res) {
+		if _, err := sim.DeployMethod(cfg, cand); err == nil {
+			m = cand
+			break
+		}
+	}
+	if m == nil {
+		return out, fmt.Errorf("no hostable drill method for config %s", cfg.Name)
+	}
+
+	sched := serve.NewScheduler(serve.SchedulerOptions{Workers: 2, MaxMeshCycles: res.MaxMeshCycles})
+	svc := serve.NewService(sched, sim.Configurations(), []*classfile.Method{m})
+	ac := admit.New(admit.Options{RunCap: capN, Parallelism: 2})
+	svc.SetAdmission(ac)
+	// Hold each run request briefly so the burst reaches the admission
+	// gate together instead of draining one by one.
+	gate := &chaos.SlowGate{
+		Inner: serve.NewHandler(svc),
+		Match: func(r *http.Request) bool { return r.URL.Path == "/v1/run" },
+		Delay: 100 * time.Millisecond,
+	}
+	gate.Slow()
+	url, stop, err := servePeer(gate)
+	if err != nil {
+		return out, err
+	}
+	defer stop()
+
+	want, err := serve.NewScheduler(serve.SchedulerOptions{Workers: 2, MaxMeshCycles: res.MaxMeshCycles}).
+		RunMethodCycles(context.Background(), cfg, m, res.MaxMeshCycles)
+	if err != nil {
+		return out, err
+	}
+	wantBytes, err := want.MarshalBinary()
+	if err != nil {
+		return out, err
+	}
+
+	post := func() (*http.Response, error) {
+		body, err := json.Marshal(serve.RunRequest{
+			Config: cfg.Name, Method: m.Signature(), MaxMeshCycles: res.MaxMeshCycles,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return http.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+	}
+
+	var (
+		mu                                  sync.Mutex
+		admitted, shed, badShed, other, bad int
+		firstErr                            error
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := post()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer resp.Body.Close()
+			data, _ := io.ReadAll(resp.Body)
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				admitted++
+				var p serve.RunPayload
+				if json.Unmarshal(data, &p) != nil {
+					bad++
+					return
+				}
+				rb, err := (sim.MethodRun{Signature: p.Signature, BP1: p.BP1, BP2: p.BP2}).MarshalBinary()
+				if err != nil || string(rb) != string(wantBytes) {
+					bad++
+				}
+			case http.StatusTooManyRequests:
+				shed++
+				ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+				if err != nil || ra < 1 {
+					badShed++
+				}
+			default:
+				other++
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return out, firstErr
+	}
+
+	out.Injected = shed > 0
+
+	// Recovery: the flood is gone, so a fresh request must be admitted and
+	// the run lane must sit at depth zero again.
+	gate.Fast()
+	recovered := true
+	if resp, err := post(); err != nil {
+		recovered = false
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			recovered = false
+		}
+	}
+	if ac.Depth(admit.ClassRun) != 0 {
+		recovered = false
+	}
+	out.Recovered = recovered && bad == 0 && badShed == 0 && other == 0 && admitted > 0
+	out.Detail = fmt.Sprintf("flood=%d cap=%d admitted=%d shed429=%d badRetryAfter=%d other=%d byteMismatch=%d",
+		flood, capN, admitted, shed, badShed, other, bad)
+	return out, nil
+}
+
+// drillSlowPeer wedges the only dispatch peer — it accepts connections but
+// stalls longer than the client's header timeout before answering — and
+// requires the batch to complete byte-identically anyway via timeout,
+// suspension, and local fallback, instead of hanging on the slow peer.
+func (c *Context) drillSlowPeer(f scenario.Fault, res *scenario.Resolved) (scenario.FaultOutcome, error) {
+	out := scenario.FaultOutcome{Kind: scenario.FaultSlowPeer}
+	methods := drillMethods(res)
+	cfg := res.Configs[0]
+	delay := time.Duration(f.DelayMs) * time.Millisecond
+	if delay == 0 {
+		delay = 2 * time.Second
+	}
+
+	sched := serve.NewScheduler(serve.SchedulerOptions{Workers: 2, MaxMeshCycles: res.MaxMeshCycles})
+	gate := &chaos.SlowGate{
+		Inner: serve.NewHandler(serve.NewService(sched, sim.Configurations(), methods)),
+		Match: func(r *http.Request) bool { return r.URL.Path == "/v1/run" },
+		Delay: delay,
+	}
+	gate.Slow()
+	url, stop, err := servePeer(gate)
+	if err != nil {
+		return out, err
+	}
+	defer stop()
+
+	client := &http.Client{Transport: &http.Transport{ResponseHeaderTimeout: delay / 4}}
+	local := serve.NewScheduler(serve.SchedulerOptions{Workers: 2, MaxMeshCycles: res.MaxMeshCycles})
+	d, err := dispatch.NewWithBackends(
+		[]dispatch.Backend{namedBackend{dispatch.NewRemote(url, client), "drill-slow-peer"}},
+		dispatch.Options{Local: local, MaxInflight: 1},
+	)
+	if err != nil {
+		return out, err
+	}
+
+	jobs := drillJobs(cfg, methods)
+	start := time.Now()
+	got := d.RunBatchCycles(context.Background(), jobs, res.MaxMeshCycles)
+	elapsed := time.Since(start)
+	want := serve.NewScheduler(serve.SchedulerOptions{Workers: 2, MaxMeshCycles: res.MaxMeshCycles}).
+		RunBatchCycles(context.Background(), jobs, res.MaxMeshCycles)
+
+	stats := d.Stats()
+	out.Injected = gate.Delayed() > 0 && stats.LocalFallbacks > 0
+	ok, detail := sameJobResults(got, want)
+	out.Recovered = ok
+	out.Detail = fmt.Sprintf("delayed=%d localFallbacks=%d suspensions=%d elapsed=%s",
+		gate.Delayed(), stats.LocalFallbacks, stats.Suspensions, elapsed.Round(time.Millisecond))
+	if !ok {
+		out.Detail += "; " + detail
+	}
 	return out, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strings"
 
+	"javaflow/internal/admit"
 	"javaflow/internal/obs"
 	"javaflow/internal/store"
 )
@@ -34,6 +35,9 @@ func (r *Replicator) get(ctx context.Context, url string) (*http.Response, error
 		return nil, fmt.Errorf("replicate: %w", err)
 	}
 	obs.Inject(req, ctx)
+	// Carry this round's deadline so an overloaded peer can shed the pull
+	// at admission instead of streaming bytes nobody will wait for.
+	admit.Inject(req, ctx)
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("replicate: %w", err)
@@ -80,6 +84,7 @@ func (r *Replicator) postNotify(ctx context.Context, base string, n Notification
 	}
 	req.Header.Set("Content-Type", "application/json")
 	obs.Inject(req, ctx)
+	admit.Inject(req, ctx)
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("replicate: %w", err)

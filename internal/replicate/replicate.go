@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"net"
 	"net/http"
 	"sort"
 	"strings"
@@ -49,6 +50,13 @@ import (
 // is zero: short enough that a warm result computed anywhere is fleet-wide
 // within seconds, long enough that idle fleets cost a few manifest GETs.
 const DefaultInterval = 15 * time.Second
+
+// Transport bounds for the default peer client: a peer that accepts the
+// TCP connection but never answers must fail fast, not hold the round.
+const (
+	defaultDialTimeout           = 5 * time.Second
+	defaultResponseHeaderTimeout = 30 * time.Second
+)
 
 // cursorMetaPrefix namespaces the per-peer cursor meta records in the
 // store ("meta|replcursor|<peer URL>").
@@ -162,9 +170,15 @@ func New(opts Options) (*Replicator, error) {
 	}
 	client := opts.Client
 	if client == nil {
+		// No overall timeout — a segment fetch is bounded by segment size,
+		// not wall time — but the transport bounds connection establishment
+		// and time-to-first-header so a wedged peer fails its slice of the
+		// round instead of stalling the sync loop until the context expires.
 		client = &http.Client{Transport: &http.Transport{
-			MaxIdleConns:        len(opts.Peers) * 2,
-			MaxIdleConnsPerHost: 2,
+			DialContext:           (&net.Dialer{Timeout: defaultDialTimeout}).DialContext,
+			ResponseHeaderTimeout: defaultResponseHeaderTimeout,
+			MaxIdleConns:          len(opts.Peers) * 2,
+			MaxIdleConnsPerHost:   2,
 		}}
 	}
 	r := &Replicator{

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"javaflow/internal/serve"
 	"javaflow/internal/sim"
@@ -94,3 +95,47 @@ func (g *FlapGate) Up() { g.down.Store(false) }
 
 // Faults reports how many requests the gate rejected.
 func (g *FlapGate) Faults() int64 { return g.faults.Load() }
+
+// SlowGate wraps an http.Handler and, while slowed, holds matching requests
+// for Delay before serving them — a peer that is alive at the TCP level but
+// wedged at the application level. It drives two overload-protection
+// drills: against a capped admission gate it synchronizes a flood so the
+// burst arrives together, and against a dispatch client it proves transport
+// header timeouts fail the attempt instead of pinning an inflight slot.
+// The hold aborts early if the caller gives up (request context canceled),
+// so abandoned requests do not leak goroutines for the full delay.
+type SlowGate struct {
+	Inner http.Handler
+	// Match limits slowing to selected requests, e.g. POST /v1/run
+	// (nil = all).
+	Match func(r *http.Request) bool
+	// Delay is how long each matching request is held.
+	Delay time.Duration
+
+	slow    atomic.Bool
+	delayed atomic.Int64
+}
+
+// ServeHTTP holds matching requests while the gate is slowed.
+func (g *SlowGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.slow.Load() && (g.Match == nil || g.Match(r)) {
+		g.delayed.Add(1)
+		t := time.NewTimer(g.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	g.Inner.ServeHTTP(w, r)
+}
+
+// Slow starts holding matching requests.
+func (g *SlowGate) Slow() { g.slow.Store(true) }
+
+// Fast heals the peer.
+func (g *SlowGate) Fast() { g.slow.Store(false) }
+
+// Delayed reports how many requests the gate held.
+func (g *SlowGate) Delayed() int64 { return g.delayed.Load() }

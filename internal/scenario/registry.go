@@ -188,6 +188,17 @@ func Catalog() []*Bundle {
 			},
 		},
 		{
+			Name:        "overload",
+			Description: "Overload drill on Compact2: a 4x-capacity flood against a capped admission gate must shed with typed 429s carrying an honest Retry-After while admitted work stays byte-identical and service recovers fully, and a wedged slow peer must be timed out at the transport and routed around.",
+			Tier:        TierAdversarial,
+			Workload:    WorkloadSpec{Suites: []string{"crypto.signverify"}},
+			Configs:     []string{"Compact2"},
+			Faults: []Fault{
+				{Kind: FaultOverload, Cap: 2, Flood: 8},
+				{Kind: FaultSlowPeer, DelayMs: 2000},
+			},
+		},
+		{
 			Name:        "chaos-fleet",
 			Description: "Small corpus on Compact2 under the full fault schedule: a dispatch backend dies mid-batch, a replication peer flaps, a gossip partition drops push notifications until the next advertisement heals it, a flushed segment is corrupted on disk, and the deadline budget is squeezed.",
 			Tier:        TierAdversarial,

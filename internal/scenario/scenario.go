@@ -53,6 +53,16 @@ const (
 	// advertisement must catch the peer up to a byte-identical union with
 	// no periodic pull round involved.
 	FaultGossipPartition FaultKind = "gossip-partition"
+	// FaultOverload floods the serving front past its run-class admission
+	// cap: the overflow must shed with typed 429s carrying an honest
+	// Retry-After, every admitted request must return byte-identical
+	// results, and service must recover fully once the flood drains.
+	FaultOverload FaultKind = "overload"
+	// FaultSlowPeer wedges a dispatch peer — it accepts connections but
+	// stalls before answering: the transport header timeout must fail the
+	// attempt, and retry/local fallback must complete every job
+	// byte-identically instead of letting the slow peer wedge the batch.
+	FaultSlowPeer FaultKind = "slow-peer"
 )
 
 // Corruption modes for FaultStoreCorruption.
@@ -73,6 +83,15 @@ type Fault struct {
 	// MaxCycles is, for deadline-pressure, the squeezed per-run mesh-cycle
 	// budget (default 500 — low enough that real methods time out).
 	MaxCycles int `json:"maxCycles,omitempty"`
+	// Cap is, for overload, the run-class admission cap the drill floods
+	// against (default 2).
+	Cap int `json:"cap,omitempty"`
+	// Flood is, for overload, how many concurrent requests the drill
+	// fires (default 4×Cap — the CI-pinned 4×-capacity flood).
+	Flood int `json:"flood,omitempty"`
+	// DelayMs is, for slow-peer, how long the wedged peer stalls before
+	// answering, in milliseconds (default 2000).
+	DelayMs int `json:"delayMs,omitempty"`
 }
 
 // GenSpec selects a slice of the seeded generated corpus. Zero fields
@@ -214,6 +233,17 @@ func (f Fault) validate() error {
 	case FaultDeadlinePressure:
 		if f.MaxCycles < 0 {
 			return fmt.Errorf("%s: maxCycles must be >= 0, got %d", f.Kind, f.MaxCycles)
+		}
+	case FaultOverload:
+		if f.Cap < 0 {
+			return fmt.Errorf("%s: cap must be >= 0, got %d", f.Kind, f.Cap)
+		}
+		if f.Flood < 0 {
+			return fmt.Errorf("%s: flood must be >= 0, got %d", f.Kind, f.Flood)
+		}
+	case FaultSlowPeer:
+		if f.DelayMs < 0 {
+			return fmt.Errorf("%s: delayMs must be >= 0, got %d", f.Kind, f.DelayMs)
 		}
 	default:
 		return fmt.Errorf("unknown fault kind %q", f.Kind)

@@ -110,6 +110,10 @@ func (d *Daemon) Run(ctx context.Context, ready func(addr net.Addr)) error {
 	if drain <= 0 {
 		drain = DefaultDrain
 	}
+	// Flip admission into draining mode before the listener closes: a
+	// keep-alive client racing the shutdown gets a typed 429 telling it to
+	// retry elsewhere instead of queueing behind a closing daemon.
+	d.Service.Admission().SetDraining(true)
 	d.logf("shutting down: draining in-flight requests (up to %v)", drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"javaflow/internal/admit"
 	"javaflow/internal/fabric"
 	"javaflow/internal/obs"
 	"javaflow/internal/replicate"
@@ -44,6 +45,14 @@ const (
 	ErrKindRejected = "rejected"
 	ErrKindCanceled = "canceled"
 	ErrKindInternal = "internal"
+	// ErrKindOverloaded marks a typed admission rejection (HTTP 429): the
+	// class's queue is at cap and the Retry-After header says when to
+	// come back. The work was never started.
+	ErrKindOverloaded = "overloaded"
+	// ErrKindDeadline marks an expired-on-arrival shed (HTTP 503): the
+	// request's X-Javaflow-Deadline had already passed at ingress, so the
+	// work was shed instead of executed for a caller that gave up.
+	ErrKindDeadline = "deadline_exceeded"
 )
 
 // ErrorPayload is the JSON error envelope. For fabric rejections (Kind ==
@@ -96,7 +105,7 @@ func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	metrics := svc.Scheduler().Metrics()
 
-	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/run", guard(svc, admit.ClassRun, func(w http.ResponseWriter, r *http.Request) {
 		var req RunRequest
 		if !decodeJSON(w, r, &req) {
 			return
@@ -111,9 +120,9 @@ func NewHandler(svc *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, payload)
-	})
+	}))
 
-	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/batch", guard(svc, admit.ClassBatch, func(w http.ResponseWriter, r *http.Request) {
 		var req BatchRequest
 		if !decodeJSON(w, r, &req) {
 			return
@@ -128,7 +137,7 @@ func NewHandler(svc *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
-	})
+	}))
 
 	mux.HandleFunc("GET /v1/configs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.ConfigInfos())
@@ -172,7 +181,7 @@ func NewHandler(svc *Service) http.Handler {
 	// peer pullers and need only a store; the POST forces a pull round on
 	// this node's own replicator (tests and ops use it to avoid waiting an
 	// interval).
-	mux.HandleFunc("GET /v1/replicate/segments", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/replicate/segments", guard(svc, admit.ClassReplicate, func(w http.ResponseWriter, r *http.Request) {
 		st := svc.Scheduler().Store()
 		if st == nil {
 			writeJSON(w, http.StatusNotFound, ErrorPayload{
@@ -187,9 +196,9 @@ func NewHandler(svc *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, replicate.Manifest{Segments: manifest})
-	})
+	}))
 
-	mux.HandleFunc("GET /v1/replicate/segment/{seq}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/replicate/segment/{seq}", guard(svc, admit.ClassReplicate, func(w http.ResponseWriter, r *http.Request) {
 		st := svc.Scheduler().Store()
 		if st == nil {
 			writeJSON(w, http.StatusNotFound, ErrorPayload{
@@ -233,9 +242,9 @@ func NewHandler(svc *Service) http.Handler {
 		w.Header().Set("X-Javaflow-Segment-Visible", strconv.FormatInt(visible, 10))
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(data)
-	})
+	}))
 
-	mux.HandleFunc("POST /v1/replicate/sync", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/replicate/sync", guard(svc, admit.ClassReplicate, func(w http.ResponseWriter, r *http.Request) {
 		rp := svc.Replicator()
 		if rp == nil {
 			writeJSON(w, http.StatusNotFound, ErrorPayload{
@@ -249,7 +258,7 @@ func NewHandler(svc *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, rp.Stats())
-	})
+	}))
 
 	// Gossip receiver: a peer advertising freshly committed segment ranges.
 	// The handler pulls the advertised delta synchronously — when the 200
@@ -257,7 +266,7 @@ func NewHandler(svc *Service) http.Handler {
 	// background. 404 without a gossip-enabled replicator, so senders
 	// account a pull-only peer as a failed send and the fleet still
 	// converges through their pull loops.
-	mux.HandleFunc("POST /v1/replicate/notify", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/replicate/notify", guard(svc, admit.ClassReplicate, func(w http.ResponseWriter, r *http.Request) {
 		rp := svc.Replicator()
 		if rp == nil || !rp.GossipEnabled() {
 			writeJSON(w, http.StatusNotFound, ErrorPayload{
@@ -280,7 +289,7 @@ func NewHandler(svc *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, out)
-	})
+	}))
 
 	// Compaction is sole-writer-only (see store.Compact): in a shared
 	// -store-dir fleet, quiesce the other instances before POSTing here,
@@ -316,6 +325,10 @@ func NewHandler(svc *Service) http.Handler {
 			stats := rp.Stats()
 			snap.Replication = &stats
 		}
+		if ac := svc.Admission(); ac != nil {
+			stats := ac.Stats()
+			snap.Admission = &stats
+		}
 		writeJSON(w, http.StatusOK, snap)
 	})
 
@@ -340,6 +353,66 @@ func NewHandler(svc *Service) http.Handler {
 	})
 
 	return instrument(metrics, mux)
+}
+
+// guard is the overload-protection wrapper for one admission class. It
+// runs before the handler does any work:
+//
+//  1. An inbound X-Javaflow-Deadline already in the past sheds the
+//     request — typed 503 ErrKindDeadline with Retry-After — instead of
+//     executing for a caller that gave up. A live deadline tightens the
+//     request context so the scheduler and any dispatch hop inherit it.
+//  2. The admission controller claims a slot in the class's lane; at
+//     cap the request gets a typed 429 ErrKindOverloaded with
+//     Retry-After and is never executed. The slot is released when the
+//     handler returns, which is what files the service time the
+//     Retry-After estimate feeds on.
+//
+// With no controller attached only the deadline leg applies: admission
+// on a nil controller is a no-op.
+func guard(svc *Service, class admit.Class, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ac := svc.Admission()
+		now := time.Now()
+		if dl, ok := admit.FromRequest(r, now); ok {
+			if !dl.After(now) {
+				ac.RecordShed(class)
+				writeShed(w, ac.RetryAfter(class), r.Header.Get(admit.DeadlineHeader))
+				return
+			}
+			ctx, cancel := admit.WithDeadline(r.Context(), dl)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		release, err := ac.Admit(class)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer release()
+		next(w, r)
+	}
+}
+
+// writeShed answers an expired-on-arrival request: the same Retry-After
+// guidance a 429 carries, under the deadline_exceeded kind, so a client
+// can distinguish "you were too slow" from "we are too busy".
+func writeShed(w http.ResponseWriter, retryAfter time.Duration, wire string) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
+	writeJSON(w, http.StatusServiceUnavailable, ErrorPayload{
+		Error: fmt.Sprintf("serve: deadline %s already expired at ingress; shed without executing", wire),
+		Kind:  ErrKindDeadline,
+	})
+}
+
+// retryAfterSeconds renders a duration for the Retry-After header:
+// whole seconds, rounded up, never zero.
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // StoreReport is the GET /v1/store payload: the store's admin report
@@ -474,6 +547,7 @@ func writeError(w http.ResponseWriter, err error) {
 	var nf *NotFoundError
 	var br *BadRequestError
 	var le *fabric.LoadError
+	var oe *admit.OverloadError
 	switch {
 	case errors.As(err, &nf):
 		writeJSON(w, http.StatusNotFound, ErrorPayload{Error: nf.Error(), Kind: ErrKindNotFound})
@@ -483,7 +557,12 @@ func writeError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusUnprocessableEntity, ErrorPayload{
 			Error: le.Error(), Kind: ErrKindRejected, Method: le.Method, Reason: le.Reason,
 		})
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case errors.As(err, &oe):
+		w.Header().Set("Retry-After", strconv.Itoa(oe.RetryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, ErrorPayload{Error: oe.Error(), Kind: ErrKindOverloaded})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusServiceUnavailable, ErrorPayload{Error: err.Error(), Kind: ErrKindDeadline})
+	case errors.Is(err, context.Canceled):
 		writeJSON(w, http.StatusServiceUnavailable, ErrorPayload{Error: err.Error(), Kind: ErrKindCanceled})
 	default:
 		writeJSON(w, http.StatusInternalServerError, ErrorPayload{Error: err.Error(), Kind: ErrKindInternal})

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"javaflow/internal/admit"
 	"javaflow/internal/obs"
 	"javaflow/internal/replicate"
 	"javaflow/internal/sim"
@@ -131,6 +132,9 @@ type MetricsSnapshot struct {
 	// Replication carries the anti-entropy replicator's per-peer cursor
 	// and sync state when this node pulls warm results from peers.
 	Replication *replicate.Stats `json:"replication,omitempty"`
+	// Admission carries the overload-protection controller's per-class
+	// queue depths, caps and rejection counters when admission is bounded.
+	Admission *admit.Stats `json:"admission,omitempty"`
 }
 
 // Snapshot captures the current counters plus the given cache's and

@@ -216,7 +216,8 @@ func (s *Scheduler) RunMethodCycles(ctx context.Context, cfg sim.Config, m *clas
 }
 
 // jobOutcome classifies a job error for span attributes: cold engine
-// runs, fabric rejections, cancellations, and everything else.
+// runs, fabric rejections, deadline sheds, cancellations, and
+// everything else.
 func jobOutcome(err error) string {
 	if err == nil {
 		return "cold"
@@ -225,7 +226,10 @@ func jobOutcome(err error) string {
 	if errors.As(err, &le) {
 		return "rejected"
 	}
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "deadline"
+	}
+	if errors.Is(err, context.Canceled) {
 		return "canceled"
 	}
 	return "error"

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sort"
 
+	"javaflow/internal/admit"
 	"javaflow/internal/classfile"
 	"javaflow/internal/fabric"
 	"javaflow/internal/replicate"
@@ -65,6 +66,7 @@ type Service struct {
 	sched        *Scheduler
 	runner       BatchRunner
 	replicator   *replicate.Replicator
+	admission    *admit.Controller
 	scenarios    *scenario.Registry
 	configs      []sim.Config
 	configByName map[string]sim.Config
@@ -126,6 +128,16 @@ func (s *Service) SetReplicator(r *replicate.Replicator) { s.replicator = r }
 // Replicator returns the attached replicator (nil when this node does not
 // pull from peers).
 func (s *Service) Replicator() *replicate.Replicator { return s.replicator }
+
+// SetAdmission attaches the overload-protection controller: the HTTP
+// layer then bounds run/batch/replicate admission per class, sheds
+// expired-on-arrival work, and answers over-cap requests with typed 429 +
+// Retry-After. Nil (the default) admits everything — embedded schedulers
+// and single-node tests pay nothing. Call before serving traffic.
+func (s *Service) SetAdmission(c *admit.Controller) { s.admission = c }
+
+// Admission returns the attached controller (nil when unbounded).
+func (s *Service) Admission() *admit.Controller { return s.admission }
 
 // SetScenarios attaches the scenario registry, enabling GET /v1/scenarios
 // and scenario-keyed batch submission. Call before serving traffic.
