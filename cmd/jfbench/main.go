@@ -10,6 +10,7 @@
 //	jfbench -all -store-dir ./results -peers http://10.0.0.7:8077 -pull
 //	                             # pull the fleet's warm results first,
 //	                             # compute only what nobody has
+//	jfbench -fleet http://10.0.0.7:8077 # render the fleet-health table
 //	jfbench -scenarios           # list the scenario catalog
 //	jfbench -scenario chaos-fleet       # run one scenario bundle
 //	jfbench -scenario-file my.json      # run a user scenario (JSON)
@@ -24,9 +25,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -37,6 +41,7 @@ import (
 	"javaflow/internal/experiments"
 	"javaflow/internal/replicate"
 	"javaflow/internal/scenario"
+	"javaflow/internal/serve"
 	"javaflow/internal/sim"
 )
 
@@ -58,6 +63,7 @@ func main() {
 		scenFile  = flag.String("scenario-file", "", "load, validate and run a user scenario bundle from a JSON file")
 		scenList  = flag.Bool("scenarios", false, "list the scenario catalog and exit")
 		sweepDig  = flag.Bool("sweep-digest", false, "run the legacy hard-coded sweep path and print per-configuration result digests (for catalog-equivalence checks)")
+		fleetURL  = flag.String("fleet", "", "fetch <base URL>/v1/fleet from a running jfserved and render the aggregated fleet-health table, then exit")
 	)
 	flag.Parse()
 
@@ -69,6 +75,14 @@ func main() {
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "jfbench: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *fleetURL != "" {
+		if err := renderFleet(os.Stdout, *fleetURL); err != nil {
+			fmt.Fprintf(os.Stderr, "jfbench: fleet: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	ctx := experiments.NewContext()
@@ -348,6 +362,54 @@ func reportStore(ctx *experiments.Context) {
 			"jfbench: warning: %d store writes failed; results may not be reusable (ctx.Close reports the first error)\n",
 			stats.PutErrors)
 	}
+}
+
+// renderFleet fetches base's /v1/fleet document and renders it as the
+// operator-facing fleet-health table: one row per node, then the
+// lossless fleet-wide merge (counters summed, latency histograms merged
+// bucket-by-bucket, so the percentiles are true union percentiles).
+func renderFleet(w io.Writer, base string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/v1/fleet")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/fleet: http %d", resp.StatusCode)
+	}
+	var snap serve.FleetSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%-28s %-5s %10s %10s %8s %8s %8s %10s\n",
+		"NODE", "UP", "REQUESTS", "JOBS", "ERRORS", "INFLGT", "EVENTS", "P99(ms)")
+	for _, n := range snap.Nodes {
+		if !n.Up || n.Metrics == nil {
+			reason := n.Err
+			if reason == "" {
+				reason = "no metrics"
+			}
+			fmt.Fprintf(w, "%-28s %-5s %s\n", n.Node, "down", reason)
+			continue
+		}
+		m := n.Metrics
+		p99 := "-"
+		if m.JobLatency != nil && m.JobLatency.Count > 0 {
+			p99 = fmt.Sprintf("%.1f", float64(m.JobLatency.Quantile(0.99))/1e6)
+		}
+		fmt.Fprintf(w, "%-28s %-5s %10d %10d %8d %8d %8d %10s\n",
+			n.Node, "up", m.Requests, m.Jobs, m.JobErrors, m.InFlight, m.Events, p99)
+	}
+	partial := ""
+	if snap.Partial {
+		partial = " (partial: at least one node did not answer)"
+	}
+	fmt.Fprintf(w, "fleet: %d/%d nodes up, %d requests, %d jobs (%d errors), p50 %.1fms p95 %.1fms p99 %.1fms%s\n",
+		snap.NodesUp, snap.NodesTotal, snap.Fleet.Requests, snap.Fleet.Jobs, snap.Fleet.JobErrors,
+		snap.Fleet.P50LatencyMS, snap.Fleet.P95LatencyMS, snap.Fleet.P99LatencyMS, partial)
+	return nil
 }
 
 // flagBound pairs a flag's parsed value with the smallest value it

@@ -36,9 +36,14 @@
 //	GET  /v1/store    (and POST /v1/store/compact)
 //	GET  /v1/replicate/segments  (and /v1/replicate/segment/{seq}, POST /v1/replicate/sync)
 //	POST /v1/replicate/notify    (gossip receiver)
+//	GET  /v1/trace/{traceID}     (cross-node assembled trace tree)
+//	GET  /v1/fleet    (aggregated fleet health across -peers)
 //	GET  /metrics     (?format=prometheus for the text exposition)
-//	GET  /debug/traces
+//	GET  /debug/traces  (and /debug/traces/{traceID} for one trace's local spans)
+//	GET  /debug/events  (?subsystem=&severity=&n= — structured event journal)
 //	GET  /healthz
+//
+// SIGQUIT dumps the recent event journal to stderr.
 //
 // With -debug-addr a second listener serves net/http/pprof on a separate
 // loopback port, keeping profiling endpoints off the service address.
@@ -71,26 +76,28 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8077", "listen address")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
-		cacheN   = flag.Int("cache", serve.DefaultCacheCapacity, "deployment cache capacity (entries)")
-		gen      = flag.Int("gen", 1580, "generated-method population size")
-		seed     = flag.Int64("seed", 2014, "generated-method population seed")
-		cycles   = flag.Int("maxcycles", 400_000, "default per-execution mesh-cycle timeout")
-		drain    = flag.Duration("drain", 5*time.Minute, "graceful-shutdown drain window for in-flight requests")
-		stDir    = flag.String("store-dir", "", "directory for the persistent result store (empty = memory-only)")
-		peers    = flag.String("peers", "", "comma-separated base URLs of backend jfserved instances to dispatch batches across")
-		inflight = flag.Int("peer-inflight", 0, "max concurrent jobs per dispatch backend (0 = default)")
-		compact  = flag.Float64("compact-threshold", 0, "auto-compact the store when its garbage ratio reaches this fraction (0 = disabled; sole-writer stores only)")
-		compactI = flag.Duration("compact-interval", serve.DefaultCompactEvery, "how often the auto-compactor checks the garbage ratio")
-		replInt  = flag.Duration("replicate-interval", 0, "pull new store segments from -peers this often (anti-entropy replication; 0 = disabled; requires -peers and -store-dir)")
-		gossipF  = flag.Int("gossip-fanout", 0, "peers each gossip notification targets (0 = ceil(log2(peers+1)); requires replication)")
-		gossipD  = flag.Bool("gossip-disable", false, "disable push/gossip notifications, leaving pull-only anti-entropy")
-		advert   = flag.String("advertise", "", "base URL peers reach this node at, stamped on gossip notifications (default derived from -addr)")
-		debugA   = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof (e.g. 127.0.0.1:6060; empty = disabled)")
-		runCap   = flag.Int("run-cap", 0, "max in-flight /v1/run requests before typed 429 shedding (0 = 256)")
-		batchCap = flag.Int("batch-cap", 0, "max in-flight /v1/batch requests before typed 429 shedding (0 = 4)")
-		replCap  = flag.Int("replicate-cap", 0, "max in-flight /v1/replicate requests before typed 429 shedding (0 = 32)")
+		addr      = flag.String("addr", ":8077", "listen address")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
+		cacheN    = flag.Int("cache", serve.DefaultCacheCapacity, "deployment cache capacity (entries)")
+		gen       = flag.Int("gen", 1580, "generated-method population size")
+		seed      = flag.Int64("seed", 2014, "generated-method population seed")
+		cycles    = flag.Int("maxcycles", 400_000, "default per-execution mesh-cycle timeout")
+		drain     = flag.Duration("drain", 5*time.Minute, "graceful-shutdown drain window for in-flight requests")
+		stDir     = flag.String("store-dir", "", "directory for the persistent result store (empty = memory-only)")
+		peers     = flag.String("peers", "", "comma-separated base URLs of backend jfserved instances to dispatch batches across")
+		inflight  = flag.Int("peer-inflight", 0, "max concurrent jobs per dispatch backend (0 = default)")
+		compact   = flag.Float64("compact-threshold", 0, "auto-compact the store when its garbage ratio reaches this fraction (0 = disabled; sole-writer stores only)")
+		compactI  = flag.Duration("compact-interval", serve.DefaultCompactEvery, "how often the auto-compactor checks the garbage ratio")
+		replInt   = flag.Duration("replicate-interval", 0, "pull new store segments from -peers this often (anti-entropy replication; 0 = disabled; requires -peers and -store-dir)")
+		gossipF   = flag.Int("gossip-fanout", 0, "peers each gossip notification targets (0 = ceil(log2(peers+1)); requires replication)")
+		gossipD   = flag.Bool("gossip-disable", false, "disable push/gossip notifications, leaving pull-only anti-entropy")
+		advert    = flag.String("advertise", "", "base URL peers reach this node at, stamped on gossip notifications (default derived from -addr)")
+		debugA    = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof (e.g. 127.0.0.1:6060; empty = disabled)")
+		runCap    = flag.Int("run-cap", 0, "max in-flight /v1/run requests before typed 429 shedding (0 = 256)")
+		batchCap  = flag.Int("batch-cap", 0, "max in-flight /v1/batch requests before typed 429 shedding (0 = 4)")
+		replCap   = flag.Int("replicate-cap", 0, "max in-flight /v1/replicate requests before typed 429 shedding (0 = 32)")
+		traceRing = flag.Int("trace-ring", 0, "span ring capacity for /debug/traces and /v1/trace (0 = 512)")
+		eventRing = flag.Int("event-ring", 0, "structured event journal capacity for /debug/events (0 = 512)")
 	)
 	flag.Parse()
 
@@ -103,6 +110,8 @@ func main() {
 		"-run-cap":       {*runCap, 0},
 		"-batch-cap":     {*batchCap, 0},
 		"-replicate-cap": {*replCap, 0},
+		"-trace-ring":    {*traceRing, 0},
+		"-event-ring":    {*eventRing, 0},
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "jfserved: %v\n", err)
 		os.Exit(2)
@@ -128,11 +137,23 @@ func main() {
 	}
 
 	methods := workload.Corpus(*seed, *gen)
+	// The node name on spans, events and fleet rows is the URL peers
+	// reach this node at, so cross-node trace assembly and /v1/fleet
+	// agree with the -peers lists everywhere else.
+	metrics := serve.NewMetricsOpts(serve.MetricsOptions{
+		Node:      advertiseURL(*advert, *addr),
+		TraceRing: *traceRing,
+		EventRing: *eventRing,
+	})
+	if st != nil {
+		st.SetJournal(metrics.Journal())
+	}
 	sched := serve.NewScheduler(serve.SchedulerOptions{
 		Workers:       *workers,
 		Cache:         serve.NewDeploymentCache(*cacheN),
 		MaxMeshCycles: *cycles,
 		Store:         st,
+		Metrics:       metrics,
 	})
 	svc := serve.NewService(sched, sim.Configurations(), methods)
 	// Bounded admission: beyond the per-class caps, requests shed with a
@@ -144,7 +165,13 @@ func main() {
 		ReplicateCap: *replCap,
 		Parallelism:  *workers,
 		Registry:     sched.Metrics().Registry(),
+		Journal:      sched.Metrics().Journal(),
 	}))
+	if peerList := splitPeers(*peers); len(peerList) > 0 {
+		// Fleet plane: /v1/trace/{id} and /v1/fleet fan out to the same
+		// peer set dispatch and replication use.
+		svc.SetFleet(serve.NewFleet(peerList, nil))
+	}
 	// Scenario catalog entries resolve against this node's own corpus
 	// parameters, so scenario-keyed batches sweep exactly the methods the
 	// daemon serves.
@@ -173,6 +200,7 @@ func main() {
 			Logf:     logf,
 			Tracer:   sched.Metrics().Tracer(),
 			Registry: sched.Metrics().Registry(),
+			Journal:  sched.Metrics().Journal(),
 		}
 		gossipNote := ", gossip off"
 		if !*gossipD {
@@ -200,6 +228,7 @@ func main() {
 			MaxInflight: *inflight,
 			Tracer:      sched.Metrics().Tracer(),
 			Registry:    sched.Metrics().Registry(),
+			Journal:     sched.Metrics().Journal(),
 		}
 		if st != nil {
 			// On a retry after a backend death, serve the job from the
@@ -242,6 +271,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGQUIT dumps the recent event journal to stderr instead of the Go
+	// runtime's goroutine dump — the "what just happened on this node"
+	// panic button for operators without curl access to /debug/events.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			fmt.Fprintf(os.Stderr, "jfserved: event journal (%d events recorded):\n",
+				sched.Metrics().Journal().EventCount())
+			sched.Metrics().Journal().WriteText(os.Stderr, 64)
+		}
+	}()
 
 	if *debugA != "" {
 		// net/http/pprof registers on http.DefaultServeMux; serving it on

@@ -16,6 +16,7 @@ package admit
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -67,6 +68,10 @@ type Options struct {
 	// Registry receives the queue-depth gauges and rejection counters
 	// (javaflow_admit_*). Nil leaves them unregistered (still in Stats).
 	Registry *obs.Registry
+	// Journal receives admission state transitions (over-cap rejections,
+	// deadline sheds, draining flips) as structured events. Nil disables
+	// event recording.
+	Journal *obs.Journal
 	// Now is the clock (nil uses time.Now). Tests inject a fake.
 	Now func() time.Time
 }
@@ -92,6 +97,7 @@ type Controller struct {
 	parallelism int64
 	draining    atomic.Bool
 	now         func() time.Time
+	journal     *obs.Journal
 }
 
 // New builds a controller from opts and registers its instruments.
@@ -109,6 +115,7 @@ func New(opts Options) *Controller {
 		classes:     make(map[Class]*classState, len(caps)),
 		parallelism: int64(pick(opts.Parallelism, 1)),
 		now:         now,
+		journal:     opts.Journal,
 	}
 	for _, class := range Classes() {
 		cs := &classState{
@@ -198,6 +205,8 @@ func (c *Controller) Admit(class Class) (release func(), err error) {
 	if depth > cs.cap {
 		cs.depth.Add(-1)
 		cs.rejected.Add(1)
+		c.journal.Emit("admit", "reject", obs.SevWarn, "",
+			"class", string(cs.class), "cap", strconv.FormatInt(cs.cap, 10))
 		return nil, c.overload(cs, depth-1)
 	}
 	cs.admitted.Add(1)
@@ -261,6 +270,7 @@ func (c *Controller) RecordShed(class Class) {
 	}
 	if cs := c.classes[class]; cs != nil {
 		cs.shed.Add(1)
+		c.journal.Emit("admit", "shed", obs.SevWarn, "", "class", string(class))
 	}
 }
 
@@ -281,8 +291,12 @@ func (c *Controller) Depth(class Class) int64 {
 // retry elsewhere instead of queueing behind a closing listener.
 // Already-admitted work is unaffected and drains normally.
 func (c *Controller) SetDraining(v bool) {
-	if c != nil {
-		c.draining.Store(v)
+	if c == nil {
+		return
+	}
+	if c.draining.Swap(v) != v {
+		c.journal.Emit("admit", "draining", obs.SevWarn, "",
+			"on", strconv.FormatBool(v))
 	}
 }
 

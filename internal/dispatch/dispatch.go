@@ -135,6 +135,11 @@ type Options struct {
 	// attempt histograms. Nil leaves them unregistered (still counted in
 	// Stats).
 	Registry *obs.Registry
+	// Journal receives routing state transitions (backend suspension and
+	// recovery, retry-budget denials, local fallbacks) as structured
+	// events; pass the serving node's serve.Metrics journal. Nil disables
+	// event recording.
+	Journal *obs.Journal
 }
 
 // Hints is the hinted-handoff seam between dispatch (which observes ring
@@ -189,6 +194,7 @@ type Dispatcher struct {
 	hints       Hints
 
 	tracer      *obs.Tracer
+	journal     *obs.Journal
 	attemptHist *obs.HistogramVec // per backend × outcome, failures included
 
 	localFallbacks atomic.Int64
@@ -280,6 +286,7 @@ func NewWithBackends(backends []Backend, opts Options) (*Dispatcher, error) {
 		syncedPeers:      opts.SyncedPeers,
 		hints:            opts.Hints,
 		tracer:           opts.Tracer,
+		journal:          opts.Journal,
 	}
 	names := make([]string, len(backends))
 	for i, b := range backends {
@@ -440,6 +447,8 @@ func (d *Dispatcher) attempt(ctx context.Context, i int, job serve.Job, maxCycle
 		bs.errs.Add(1)
 		if bs.consecFails.Add(1) == d.failureThreshold {
 			d.suspensions.Add(1)
+			d.journal.Emit("dispatch", "suspension", obs.SevWarn, traceIDFrom(ctx),
+				"backend", bs.b.Name(), "error", err.Error())
 		}
 		// Push the next probe out on the jittered schedule; while the
 		// streak continues each failed probe lands further apart.
@@ -457,6 +466,8 @@ func (d *Dispatcher) attempt(ctx context.Context, i int, job serve.Job, maxCycle
 		// Hand its hinted-handoff backlog over now, so its next
 		// ring-owned requests are warm instead of cold engine runs.
 		d.ownerRecovers.Add(1)
+		d.journal.Emit("dispatch", "recovery", obs.SevInfo, traceIDFrom(ctx),
+			"backend", bs.b.Name())
 		if d.hints != nil {
 			d.hints.DeliverHints(bs.b.Name())
 		}
@@ -526,6 +537,8 @@ func (d *Dispatcher) runJobRouted(ctx context.Context, sig string, job serve.Job
 		if !d.backends[first].retryBudget.Allow() {
 			d.backends[first].retryDenied.Add(1)
 			d.retryDenials.Add(1)
+			d.journal.Emit("dispatch", "retry_denied", obs.SevWarn, traceIDFrom(ctx),
+				"backend", d.backends[first].b.Name())
 		} else if second := d.routeRetry(sig, first); second >= 0 {
 			run, err = d.attempt(ctx, second, job, maxCycles)
 			if err == nil || !transient(ctx, err) {
@@ -534,8 +547,20 @@ func (d *Dispatcher) runJobRouted(ctx context.Context, sig string, job serve.Job
 		}
 	}
 	d.localFallbacks.Add(1)
+	if len(d.backends) > 0 {
+		// Only notable when remotes exist: a dispatcher with no peers runs
+		// everything locally by construction.
+		d.journal.Emit("dispatch", "local_fallback", obs.SevInfo, traceIDFrom(ctx), "sig", sig)
+	}
 	run, err = d.runLocal(ctx, job, maxCycles)
 	return run, -1, err
+}
+
+// traceIDFrom extracts the active trace ID for journal events ("" when
+// the context carries no trace).
+func traceIDFrom(ctx context.Context) string {
+	tc, _ := obs.TraceFrom(ctx)
+	return tc.TraceID
 }
 
 // routeRetry picks the second node for a job whose ring owner failed.

@@ -18,6 +18,7 @@ import (
 	"javaflow/internal/classfile"
 	"javaflow/internal/dispatch"
 	"javaflow/internal/fabric"
+	"javaflow/internal/obs"
 	"javaflow/internal/replicate"
 	"javaflow/internal/scenario"
 	"javaflow/internal/scenario/chaos"
@@ -156,7 +157,11 @@ func (b namedBackend) Name() string { return b.name }
 // schedule: two live in-process peers behind a consistent-hash dispatcher,
 // one wrapped in a chaos.FlakyBackend that dies after f.After jobs. The
 // batch must still complete with results byte-identical to a purely local
-// run, via retries and local fallback.
+// run, via retries and local fallback — and the structured event journal
+// must narrate the episode: a dispatch "suspension" when the backend
+// dies, a dispatch "recovery" when a probe sees it revived. A drill that
+// survives the fault but leaves no journal trail fails, because an
+// operator would have been blind to what just happened.
 func (c *Context) drillBackendDeath(f scenario.Fault, res *scenario.Resolved) (scenario.FaultOutcome, error) {
 	out := scenario.FaultOutcome{Kind: f.Kind}
 	methods := drillMethods(res)
@@ -189,9 +194,18 @@ func (c *Context) drillBackendDeath(f scenario.Fault, res *scenario.Resolved) (s
 		FailAfter: after,
 	}
 	local := serve.NewScheduler(serve.SchedulerOptions{Workers: 2, MaxMeshCycles: res.MaxMeshCycles})
+	journal := obs.NewJournal("drill", 128)
 	d, err := dispatch.NewWithBackends(
 		[]dispatch.Backend{flaky, namedBackend{dispatch.NewRemote(urls[1], nil), "drill-peer-1"}},
-		dispatch.Options{Local: local, MaxInflight: 1},
+		dispatch.Options{
+			Local: local, MaxInflight: 1,
+			Journal: journal,
+			// One failure suspends, and probes fire within milliseconds, so
+			// the revival below is observed without a real backoff wait.
+			FailureThreshold: 1,
+			ProbeBackoffBase: time.Millisecond,
+			ProbeBackoffCap:  2 * time.Millisecond,
+		},
 	)
 	if err != nil {
 		return out, err
@@ -205,12 +219,31 @@ func (c *Context) drillBackendDeath(f scenario.Fault, res *scenario.Resolved) (s
 	stats := d.Stats()
 	out.Injected = flaky.Calls() > after && (stats.Retries > 0 || stats.LocalFallbacks > 0)
 	ok, detail := sameJobResults(got, want)
-	out.Recovered = ok
-	out.Detail = fmt.Sprintf("retries=%d localFallbacks=%d", stats.Retries, stats.LocalFallbacks)
+
+	// Revive the dead backend and keep offering jobs until a probe lands
+	// on it, turning the suspension into a journaled recovery.
+	flaky.Revive()
+	deadline := time.Now().Add(5 * time.Second)
+	for !journalHasKind(journal, "dispatch", "recovery") && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+		d.RunBatchCycles(context.Background(), jobs[:1], res.MaxMeshCycles)
+	}
+	sawSuspension := journalHasKind(journal, "dispatch", "suspension")
+	sawRecovery := journalHasKind(journal, "dispatch", "recovery")
+
+	out.Recovered = ok && sawSuspension && sawRecovery
+	out.Detail = fmt.Sprintf("retries=%d localFallbacks=%d suspensionEvent=%t recoveryEvent=%t",
+		stats.Retries, stats.LocalFallbacks, sawSuspension, sawRecovery)
 	if !ok {
 		out.Detail += "; " + detail
 	}
 	return out, nil
+}
+
+// journalHasKind reports whether the journal recorded at least one event
+// of the given subsystem and kind.
+func journalHasKind(j *obs.Journal, subsystem, kind string) bool {
+	return j.CountsByKind()[subsystem+"/"+kind] > 0
 }
 
 func sameJobResults(got, want []serve.JobResult) (bool, string) {

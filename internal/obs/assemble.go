@@ -1,0 +1,117 @@
+package obs
+
+import "sort"
+
+// NodeSpans is one node's contribution to a cross-node trace: the
+// spans its ring still holds for the trace, or the error that kept
+// them from being fetched. It is both the GET /debug/traces/{traceID}
+// response body and the unit the fleet fan-out collects per peer.
+type NodeSpans struct {
+	Node  string `json:"node"`
+	Err   string `json:"error,omitempty"`
+	Spans []Span `json:"spans"`
+}
+
+// TraceNode is one span in the assembled tree, stamped with the node
+// whose ring held it, with its children nested beneath it.
+type TraceNode struct {
+	Span
+	Node     string       `json:"node,omitempty"`
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// NodeStatus summarizes one node's part in an assembled trace.
+type NodeStatus struct {
+	Node  string `json:"node"`
+	Spans int    `json:"spans"`
+	Err   string `json:"error,omitempty"`
+}
+
+// AssembledTrace is the GET /v1/trace/{traceID} response: every
+// reachable node's spans for one trace stitched into a hop-ordered
+// tree. Partial marks a best-effort result — a peer was down, timed
+// out, or had already evicted its spans — so operators can tell a
+// complete picture from a fragmentary one.
+type AssembledTrace struct {
+	TraceID    string       `json:"traceId"`
+	Spans      int          `json:"spans"`
+	Partial    bool         `json:"partial"`
+	DurationNS int64        `json:"durationNs"`
+	Nodes      []NodeStatus `json:"nodes"`
+	Roots      []*TraceNode `json:"roots"`
+}
+
+// AssembleTrace stitches per-node span sets into one tree. Spans whose
+// parent was found (on any node) nest beneath it; orphans — the hop-0
+// ingress span (whose parent, if any, is the client's own span outside
+// the fleet), plus any span whose parent was evicted — become roots.
+// Roots and children are ordered by hop depth then start time, so the
+// first root is the fleet-ingress span and each wire crossing reads
+// top to bottom. Pure function; safe on empty or nil input.
+func AssembleTrace(traceID string, nodes []NodeSpans) AssembledTrace {
+	out := AssembledTrace{TraceID: traceID, Roots: []*TraceNode{}, Nodes: []NodeStatus{}}
+	byID := make(map[string]*TraceNode)
+	var all []*TraceNode
+	var minStart, maxEnd int64
+	for _, ns := range nodes {
+		st := NodeStatus{Node: ns.Node, Spans: len(ns.Spans), Err: ns.Err}
+		out.Nodes = append(out.Nodes, st)
+		if ns.Err != "" {
+			out.Partial = true
+		}
+		for _, sp := range ns.Spans {
+			if sp.TraceID != traceID {
+				continue
+			}
+			n := &TraceNode{Span: sp, Node: ns.Node}
+			all = append(all, n)
+			// Duplicate span IDs across nodes can only come from a
+			// hostile peer; first occurrence wins.
+			if byID[sp.SpanID] == nil {
+				byID[sp.SpanID] = n
+			}
+			if minStart == 0 || sp.StartNanos < minStart {
+				minStart = sp.StartNanos
+			}
+			if end := sp.StartNanos + sp.DurationNS; end > maxEnd {
+				maxEnd = end
+			}
+		}
+	}
+	out.Spans = len(all)
+	if maxEnd > minStart {
+		out.DurationNS = maxEnd - minStart
+	}
+	for _, n := range all {
+		if n.ParentID != "" {
+			if parent := byID[n.ParentID]; parent != nil && parent != n {
+				parent.Children = append(parent.Children, n)
+				continue
+			}
+			// No node holds the parent. At hop 0 that is expected — the
+			// parent is the client's own span, outside the fleet. Deeper
+			// in, it means the parent was evicted or its node is
+			// unreachable: surface the span as a root rather than
+			// dropping it, and mark the assembly incomplete.
+			if n.Hop > 0 {
+				out.Partial = true
+			}
+		}
+		out.Roots = append(out.Roots, n)
+	}
+	sortTraceNodes(out.Roots)
+	for _, n := range all {
+		sortTraceNodes(n.Children)
+	}
+	return out
+}
+
+// sortTraceNodes orders siblings by hop depth then start time.
+func sortTraceNodes(nodes []*TraceNode) {
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Hop != nodes[j].Hop {
+			return nodes[i].Hop < nodes[j].Hop
+		}
+		return nodes[i].StartNanos < nodes[j].StartNanos
+	})
+}

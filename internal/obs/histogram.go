@@ -85,11 +85,14 @@ func (h *Histogram) Quantile(p float64) time.Duration {
 	return h.Snapshot().Quantile(p)
 }
 
-// HistogramSnapshot is an immutable copy of a histogram's state.
+// HistogramSnapshot is an immutable copy of a histogram's state. The
+// JSON shape is the /metrics wire format fleet aggregation rides on:
+// GET /v1/fleet fetches each node's raw buckets and Merge folds them,
+// so fleet percentiles are exact rather than averaged approximations.
 type HistogramSnapshot struct {
-	Counts [histBuckets + 1]uint64
-	Count  uint64
-	SumNS  int64
+	Counts [histBuckets + 1]uint64 `json:"counts"`
+	Count  uint64                  `json:"count"`
+	SumNS  int64                   `json:"sumNs"`
 }
 
 // Merge combines two snapshots bucket-by-bucket (all histograms share

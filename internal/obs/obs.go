@@ -1,23 +1,31 @@
 // Package obs is the fleet's observability substrate: request-scoped
-// distributed tracing, log-bucketed latency histograms, and a Prometheus
-// text-exposition registry that every subsystem registers its instruments
-// into instead of hand-rolling snapshot structs.
+// distributed tracing, a structured event journal, log-bucketed latency
+// histograms, and a Prometheus text-exposition registry that every
+// subsystem registers its instruments into instead of hand-rolling
+// snapshot structs.
 //
 // Tracing is propagation-first: a TraceContext (trace ID, span ID, hop
 // depth) is minted at ingress, carried through contexts inside a process,
 // and crosses processes in the X-Javaflow-Trace header — dispatch /v1/run
 // hops, replication segment pulls, and gossip notify relays all inject it
 // — so one request's spans can be reconstructed across the fleet from
-// each node's bounded in-memory ring (GET /debug/traces). Histograms are
-// fixed log-spaced buckets updated with three atomic adds, cheap enough
-// for every job, request, dispatch attempt and replication round.
+// each node's bounded in-memory ring (GET /debug/traces). The ring is
+// indexed by trace ID (Tracer.SpansFor) and AssembleTrace stitches
+// per-node span sets into one hop-ordered tree, which is how
+// GET /v1/trace/{traceID} shows a shed/reroute/warm-hit decision chain
+// end to end. The Journal records typed state transitions (suspensions,
+// sheds, gossip heals, compactions) into a wait-free ring next to the
+// spans. Histograms are fixed log-spaced buckets updated with three
+// atomic adds, cheap enough for every job, request, dispatch attempt and
+// replication round, and their snapshots merge losslessly across nodes.
 //
 // Load-bearing invariant: observation never perturbs the observed system.
 // Every instrument is wait-free or O(1) under a short mutex, recording
-// costs nanoseconds (CI-pinned under 100ns per histogram record), buffers
-// are bounded (span rings, fixed bucket counts), and a nil Tracer,
-// Registry, Histogram or HistogramVec is a valid no-op — instrumented
-// code never branches on "is observability wired".
+// costs nanoseconds (CI-pinned under 100ns per histogram record and per
+// journal emit), buffers are bounded (span and event rings, fixed bucket
+// counts), and a nil Tracer, Journal, Registry, Histogram or
+// HistogramVec is a valid no-op — instrumented code never branches on
+// "is observability wired".
 package obs
 
 import (
@@ -69,6 +77,11 @@ func ParseTrace(s string) (TraceContext, bool) {
 	}
 	return TraceContext{TraceID: parts[0], SpanID: parts[1], Hop: hop}, true
 }
+
+// ValidTraceID reports whether s is a well-formed trace (or span) ID —
+// the HTTP layer vets /v1/trace/{traceID} path values with it before
+// fanning them out to peers.
+func ValidTraceID(s string) bool { return validID(s) }
 
 // validID accepts non-empty lowercase-hex IDs up to 32 digits.
 func validID(s string) bool {

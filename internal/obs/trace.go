@@ -41,6 +41,12 @@ type Tracer struct {
 	next    int
 	filled  bool
 	slowest []Span // kept sorted descending by DurationNS, ≤ slowestSpans
+	// byTrace indexes the ring by trace ID — which slots currently hold
+	// spans of each trace — so SpansFor (and through it cross-node trace
+	// assembly) is a map hit instead of a ring scan. Entries are evicted
+	// as the ring overwrites their slots, so the index is bounded by the
+	// ring capacity.
+	byTrace map[string][]int
 }
 
 // NewTracer builds a tracer whose recent-span ring holds cap spans
@@ -49,7 +55,7 @@ func NewTracer(capSpans int) *Tracer {
 	if capSpans <= 0 {
 		capSpans = defaultRingSpans
 	}
-	return &Tracer{ring: make([]Span, capSpans)}
+	return &Tracer{ring: make([]Span, capSpans), byTrace: make(map[string][]int)}
 }
 
 // ActiveSpan is an in-flight span; End finishes it into the tracer. A
@@ -117,6 +123,25 @@ func (s *ActiveSpan) End(err error) {
 func (t *Tracer) record(sp Span) {
 	t.spans.Add(1)
 	t.mu.Lock()
+	// The ring is about to overwrite slot t.next: drop the evicted
+	// span's slot from the trace index first.
+	if t.filled {
+		if old := t.ring[t.next].TraceID; old != "" {
+			slots := t.byTrace[old]
+			for i, s := range slots {
+				if s == t.next {
+					slots = append(slots[:i], slots[i+1:]...)
+					break
+				}
+			}
+			if len(slots) == 0 {
+				delete(t.byTrace, old)
+			} else {
+				t.byTrace[old] = slots
+			}
+		}
+	}
+	t.byTrace[sp.TraceID] = append(t.byTrace[sp.TraceID], t.next)
 	t.ring[t.next] = sp
 	t.next++
 	if t.next == len(t.ring) {
@@ -181,6 +206,31 @@ func (t *Tracer) Slowest(n int) []Span {
 	}
 	out := make([]Span, n)
 	copy(out, t.slowest[:n])
+	return out
+}
+
+// SpansFor returns every span of the given trace still held in the
+// ring, ordered by hop depth then start time — the local half of
+// cross-node trace assembly (GET /debug/traces/{traceID}). Spans
+// evicted by ring wraparound are gone; assembly marks such traces
+// partial rather than failing.
+func (t *Tracer) SpansFor(traceID string) []Span {
+	if t == nil || traceID == "" {
+		return nil
+	}
+	t.mu.Lock()
+	slots := t.byTrace[traceID]
+	out := make([]Span, 0, len(slots))
+	for _, idx := range slots {
+		out = append(out, t.ring[idx])
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hop != out[j].Hop {
+			return out[i].Hop < out[j].Hop
+		}
+		return out[i].StartNanos < out[j].StartNanos
+	})
 	return out
 }
 

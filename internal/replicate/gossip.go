@@ -296,6 +296,10 @@ func (r *Replicator) sendNotify(ctx context.Context, n Notification, targets []*
 			defer cancel()
 			if err := r.postNotify(sctx, p.name, n); err != nil {
 				r.g.sendErrors.Add(1)
+				// A peer that cannot be told about new data may be
+				// partitioned from us; the pull loop is the repair path.
+				r.journal.Emit("replicate", "partition_suspected", obs.SevWarn, traceIDFrom(ctx),
+					"peer", p.name, "error", err.Error())
 				r.logff("replicate: gossip: notify %s: %v", p.name, err)
 				return
 			}

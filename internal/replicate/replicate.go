@@ -37,6 +37,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -111,6 +112,11 @@ type Options struct {
 	// Registry receives the replicator's counters and per-peer pull
 	// histograms. Nil leaves them unregistered (still visible in Stats).
 	Registry *obs.Registry
+	// Journal receives replication state transitions (foreign-segment
+	// ingests, cursor heals after a failing peer recovers, suspected
+	// partitions when gossip sends fail) as structured events. Nil
+	// disables event recording.
+	Journal *obs.Journal
 }
 
 // peerState is one peer's replication position and accounting. The mutex
@@ -145,6 +151,7 @@ type Replicator struct {
 	errs   atomic.Int64
 
 	tracer   *obs.Tracer
+	journal  *obs.Journal
 	pullHist *obs.HistogramVec // per-peer pull duration (round slice or notify delta)
 
 	// g is the push/rumor-mongering side; nil when Options.Advertise is
@@ -203,6 +210,7 @@ func New(opts Options) (*Replicator, error) {
 		r.g = newGossip(normalizePeer(opts.Advertise), len(r.peers), opts.GossipFanout, opts.GossipTTL)
 	}
 	r.tracer = opts.Tracer
+	r.journal = opts.Journal
 	r.register(opts.Registry)
 	return r, nil
 }
@@ -463,6 +471,12 @@ func (r *Replicator) syncPeer(ctx context.Context, p *peerState) error {
 		} else {
 			r.logff("replicate: %s — %d records ingested, %d already present, %d bytes from %d segment(s)",
 				p.name, ingested, skipped, fetched, segsPulled)
+			if ingested > 0 {
+				r.journal.Emit("replicate", "ingest", obs.SevInfo, traceIDFrom(ctx),
+					"peer", p.name,
+					"records", strconv.FormatInt(ingested, 10),
+					"bytes", strconv.FormatInt(fetched, 10))
+			}
 		}
 	}
 
@@ -473,6 +487,7 @@ func (r *Replicator) syncPeer(ctx context.Context, p *peerState) error {
 	p.bytesFetched += fetched
 	p.segsPulled += segsPulled
 	p.caughtUp = caughtUp
+	healed := roundErr == nil && p.lastErr != ""
 	if roundErr != nil {
 		p.lastErr = roundErr.Error()
 	} else {
@@ -480,7 +495,19 @@ func (r *Replicator) syncPeer(ctx context.Context, p *peerState) error {
 		p.lastErr = ""
 	}
 	p.mu.Unlock()
+	if healed {
+		// The peer's cursor advanced cleanly after at least one failed
+		// round — the partition (or crash) against it has healed.
+		r.journal.Emit("replicate", "cursor_heal", obs.SevInfo, traceIDFrom(ctx), "peer", p.name)
+	}
 	return roundErr
+}
+
+// traceIDFrom extracts the active trace ID for journal events ("" when
+// the context carries no trace).
+func traceIDFrom(ctx context.Context) string {
+	tc, _ := obs.TraceFrom(ctx)
+	return tc.TraceID
 }
 
 // SyncedPeers lists the peers whose segment logs this node had fully

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"javaflow/internal/obs"
 	"javaflow/internal/replicate"
 	"javaflow/internal/store"
 )
@@ -90,6 +91,8 @@ func (d *Daemon) Run(ctx context.Context, ready func(addr net.Addr)) error {
 	if ready != nil {
 		ready(ln.Addr())
 	}
+	journal := d.Service.Scheduler().Metrics().Journal()
+	journal.Emit("serve", "start", obs.SevInfo, "", "addr", ln.Addr().String())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -100,6 +103,7 @@ func (d *Daemon) Run(ctx context.Context, ready func(addr net.Addr)) error {
 		if errors.Is(err, http.ErrServerClosed) {
 			err = nil
 		}
+		journal.Emit("serve", "stop", obs.SevWarn, "", "reason", "listener")
 		stopCompactor()
 		stopReplicator()
 		return errors.Join(err, d.closeStore())
@@ -118,6 +122,7 @@ func (d *Daemon) Run(ctx context.Context, ready func(addr net.Addr)) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err = srv.Shutdown(shutdownCtx)
+	journal.Emit("serve", "stop", obs.SevInfo, "", "reason", "signal")
 	// The compactor and replicator must be idle before the store closes.
 	stopCompactor()
 	stopReplicator()

@@ -91,10 +91,15 @@ func (p ErrorPayload) Err() error {
 //	GET  /v1/replicate/segment/{seq} — raw segment frames (?from= resumes)
 //	POST /v1/replicate/sync          — force one anti-entropy round now
 //	POST /v1/replicate/notify        — gossip receiver: pull an advertised delta now
+//	GET  /v1/trace/{traceID}         — cross-node assembled trace: fans out to the fleet peers
+//	                                   and stitches every node's spans into one hop-ordered tree
+//	GET  /v1/fleet                   — fleet health: every peer's /metrics merged into one document
 //	GET  /metrics                    — service counters + cache/store/dispatch/replication stats;
 //	                                   ?format=prometheus renders the full instrument registry
 //	                                   in the Prometheus text exposition format
 //	GET  /debug/traces               — recent + slowest spans from this node's trace ring (?n= caps each)
+//	GET  /debug/traces/{traceID}     — this node's spans for one trace (the fan-out's local leg)
+//	GET  /debug/events               — structured event journal (?subsystem=, ?severity=, ?n= filter)
 //	GET  /healthz                    — liveness
 //
 // Every request runs under the trace middleware: an inbound
@@ -317,19 +322,14 @@ func NewHandler(svc *Service) http.Handler {
 			metrics.Registry().WritePrometheus(w)
 			return
 		}
-		snap := svc.Scheduler().Snapshot()
-		if ds, ok := svc.BatchRunner().(DispatchStatser); ok {
-			snap.Dispatch = ds.DispatchStats()
-		}
-		if rp := svc.Replicator(); rp != nil {
-			stats := rp.Stats()
-			snap.Replication = &stats
-		}
-		if ac := svc.Admission(); ac != nil {
-			stats := ac.Stats()
-			snap.Admission = &stats
-		}
-		writeJSON(w, http.StatusOK, snap)
+		writeJSON(w, http.StatusOK, svc.snapshotFull())
+	})
+
+	// Fleet health: every peer's /metrics JSON fetched concurrently and
+	// merged into one document — per-node up/down plus fleet-wide
+	// counters and losslessly merged latency percentiles.
+	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.FleetSnapshot(r.Context()))
 	})
 
 	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
@@ -346,6 +346,66 @@ func NewHandler(svc *Service) http.Handler {
 			n = v
 		}
 		writeJSON(w, http.StatusOK, metrics.Tracer().Dump(n))
+	})
+
+	// Local trace lookup: this node's spans for one trace, the leg the
+	// /v1/trace fan-out queries on every peer.
+	mux.HandleFunc("GET /debug/traces/{traceID}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("traceID")
+		if !obs.ValidTraceID(id) {
+			writeJSON(w, http.StatusBadRequest, ErrorPayload{
+				Error: fmt.Sprintf("serve: bad trace id %q", id),
+				Kind:  ErrKindInternal,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, localSpans(metrics, id))
+	})
+
+	// Cross-node trace assembly: fan out to every fleet peer's local
+	// lookup and stitch the spans into one hop-ordered tree. Dead peers
+	// mark the result partial; the endpoint still answers 200.
+	mux.HandleFunc("GET /v1/trace/{traceID}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("traceID")
+		if !obs.ValidTraceID(id) {
+			writeJSON(w, http.StatusBadRequest, ErrorPayload{
+				Error: fmt.Sprintf("serve: bad trace id %q", id),
+				Kind:  ErrKindInternal,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, svc.AssembleTrace(r.Context(), id))
+	})
+
+	// Structured event journal: newest-first typed state transitions.
+	// ?subsystem= keeps one subsystem, ?severity= sets the floor
+	// (info|warn|error), ?n= caps the count.
+	mux.HandleFunc("GET /debug/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 64
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 || v > 4096 {
+				writeJSON(w, http.StatusBadRequest, ErrorPayload{
+					Error: fmt.Sprintf("serve: bad event count %q", q),
+					Kind:  ErrKindInternal,
+				})
+				return
+			}
+			n = v
+		}
+		minSev := obs.SevInfo
+		if q := r.URL.Query().Get("severity"); q != "" {
+			sev, ok := obs.ParseSeverity(q)
+			if !ok {
+				writeJSON(w, http.StatusBadRequest, ErrorPayload{
+					Error: fmt.Sprintf("serve: bad severity %q (want info, warn or error)", q),
+					Kind:  ErrKindInternal,
+				})
+				return
+			}
+			minSev = sev
+		}
+		writeJSON(w, http.StatusOK, metrics.Journal().Dump(r.URL.Query().Get("subsystem"), minSev, n))
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -512,13 +572,19 @@ func endpointLabel(method, path string) string {
 		path = "/v1/scenarios/{name}"
 	case strings.HasPrefix(path, "/v1/replicate/segment/"):
 		path = "/v1/replicate/segment/{seq}"
+	case strings.HasPrefix(path, "/v1/trace/"):
+		path = "/v1/trace/{traceID}"
+	case strings.HasPrefix(path, "/debug/traces/"):
+		path = "/debug/traces/{traceID}"
 	}
 	switch path {
 	case "/v1/run", "/v1/batch", "/v1/configs", "/v1/methods", "/v1/scenarios",
 		"/v1/scenarios/{name}", "/v1/store", "/v1/store/compact",
 		"/v1/replicate/segments", "/v1/replicate/segment/{seq}",
 		"/v1/replicate/sync", "/v1/replicate/notify",
-		"/metrics", "/debug/traces", "/healthz":
+		"/v1/trace/{traceID}", "/v1/fleet",
+		"/metrics", "/debug/traces", "/debug/traces/{traceID}",
+		"/debug/events", "/healthz":
 		return method + " " + path
 	}
 	return method + " other"

@@ -1,6 +1,10 @@
 package serve
 
 import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -11,14 +15,20 @@ import (
 	"javaflow/internal/store"
 )
 
+// slowestWindowDur is how long a slowest-job exemplar stays current: the
+// reported trace ID is the slowest sample of the last one-to-two
+// windows, so a stale outlier from hours ago never masquerades as the
+// reason today's p99 looks bad.
+const slowestWindowDur = time.Minute
+
 // Metrics tracks service-level counters: request and job volume, cache
 // effectiveness, in-flight work, and job-latency percentiles from a
 // log-bucketed histogram (no sample window — recording is atomic adds and
 // quantiles are exact bucket bounds). Every Metrics owns the process
-// Registry and Tracer the rest of the node registers into, so one
-// GET /metrics?format=prometheus scrape and one GET /debug/traces dump
-// cover every subsystem wired to this scheduler. All methods are safe
-// for concurrent use.
+// Registry, Tracer and Journal the rest of the node registers into, so
+// one GET /metrics?format=prometheus scrape, one GET /debug/traces dump
+// and one GET /debug/events render cover every subsystem wired to this
+// scheduler. All methods are safe for concurrent use.
 type Metrics struct {
 	requests  atomic.Int64 // HTTP requests served
 	jobs      atomic.Int64 // simulation jobs completed
@@ -26,21 +36,43 @@ type Metrics struct {
 	inFlight  atomic.Int64 // jobs currently executing
 
 	start time.Time // rate base for the engine throughput gauges
+	node  string    // this node's fleet name (advertise URL or "")
 
 	reg         *obs.Registry
 	tracer      *obs.Tracer
+	journal     *obs.Journal
 	jobLatency  *obs.Histogram    // all jobs, warm and cold
 	httpLatency *obs.HistogramVec // per-endpoint request latency
+	slowest     slowestWindow     // slowest-job trace exemplar
 }
 
-// NewMetrics returns a metrics collector with its registry pre-populated
-// with the serve, engine and runtime instruments.
-func NewMetrics() *Metrics {
+// MetricsOptions configures a Metrics collector. The zero value is
+// valid: anonymous node, default ring sizes.
+type MetricsOptions struct {
+	// Node names this node in fleet-facing output (events, assembled
+	// traces, /v1/fleet rows) — jfserved passes its advertise URL.
+	Node string
+	// TraceRing bounds the recent-span ring (<=0 uses the default 512).
+	TraceRing int
+	// EventRing bounds the event journal (<=0 uses the default 512).
+	EventRing int
+}
+
+// NewMetrics returns a metrics collector with default options.
+func NewMetrics() *Metrics { return NewMetricsOpts(MetricsOptions{}) }
+
+// NewMetricsOpts returns a metrics collector with its registry
+// pre-populated with the serve, engine, runtime and build-info
+// instruments, its trace and event rings sized per opts.
+func NewMetricsOpts(opts MetricsOptions) *Metrics {
 	m := &Metrics{
-		start:  time.Now(),
-		reg:    obs.NewRegistry(),
-		tracer: obs.NewTracer(0),
+		start:   time.Now(),
+		node:    opts.Node,
+		reg:     obs.NewRegistry(),
+		tracer:  obs.NewTracer(opts.TraceRing),
+		journal: obs.NewJournal(opts.Node, opts.EventRing),
 	}
+	m.slowest.win = slowestWindowDur
 	m.jobLatency = m.reg.NewHistogram("javaflow_job_duration_seconds",
 		"Simulation job latency, warm cache hits and cold engine runs alike.")
 	m.httpLatency = m.reg.NewHistogramVec("javaflow_http_request_duration_seconds",
@@ -65,8 +97,31 @@ func NewMetrics() *Metrics {
 		func() float64 { return m.engineThroughput().MeshCyclesPerSec })
 	m.reg.CounterFunc("javaflow_trace_spans_total", "Trace spans finished on this node.",
 		func() float64 { return float64(m.tracer.SpanCount()) })
+	m.reg.GaugeFunc("javaflow_build_info",
+		"Build metadata as labels; the value is always 1.",
+		func() float64 { return 1 },
+		"go_version", runtime.Version(),
+		"engine_version", strconv.Itoa(sim.EngineVersion),
+		"module_version", moduleVersion())
+	// Every first-seen event kind mints its own javaflow_events_total
+	// series; the counters live in the journal and survive ring
+	// wraparound.
+	m.journal.OnNewKind(func(subsystem, kind string, n *atomic.Uint64) {
+		m.reg.CounterFunc("javaflow_events_total", "Structured journal events by subsystem and kind.",
+			func() float64 { return float64(n.Load()) },
+			"subsystem", subsystem, "kind", kind)
+	})
 	obs.RegisterRuntimeMetrics(m.reg)
 	return m
+}
+
+// moduleVersion reports the main module's version from the build info
+// ("(devel)" for plain go-build trees, "unknown" without build info).
+func moduleVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }
 
 // Registry is the node-wide instrument registry; subsystems wired to this
@@ -76,6 +131,13 @@ func (m *Metrics) Registry() *obs.Registry { return m.reg }
 // Tracer records this node's spans; dispatch and replicate share it so
 // one /debug/traces dump shows every hop the node participated in.
 func (m *Metrics) Tracer() *obs.Tracer { return m.tracer }
+
+// Journal is this node's structured event ring; every subsystem emits
+// state transitions into it so one /debug/events render shows them all.
+func (m *Metrics) Journal() *obs.Journal { return m.journal }
+
+// Node reports this node's fleet name ("" when anonymous).
+func (m *Metrics) Node() string { return m.node }
 
 // RecordRequest counts one HTTP request.
 func (m *Metrics) RecordRequest() { m.requests.Add(1) }
@@ -91,14 +153,80 @@ func (m *Metrics) JobStarted() time.Time {
 	return time.Now()
 }
 
-// JobFinished completes the accounting JobStarted opened.
-func (m *Metrics) JobFinished(start time.Time, err error) {
+// JobFinished completes the accounting JobStarted opened. traceID, when
+// non-empty, feeds the slowest-job exemplar so a bad percentile links
+// straight to an assembled trace.
+func (m *Metrics) JobFinished(start time.Time, traceID string, err error) {
 	m.inFlight.Add(-1)
 	m.jobs.Add(1)
 	if err != nil {
 		m.jobErrors.Add(1)
 	}
-	m.jobLatency.Record(time.Since(start))
+	d := time.Since(start)
+	m.jobLatency.Record(d)
+	m.slowest.record(d, traceID)
+}
+
+// slowSample is one slowest-job candidate.
+type slowSample struct {
+	traceID string
+	ns      int64
+}
+
+// slowestWindow keeps the slowest job sample over a two-bucket rotating
+// window: the current window plus the previous one, so the exemplar
+// never goes blank at a window boundary yet ages out within two
+// windows. O(1) under a short mutex, per the obs invariant.
+type slowestWindow struct {
+	mu       sync.Mutex
+	win      time.Duration
+	curStart time.Time
+	cur      slowSample
+	prev     slowSample
+}
+
+func (w *slowestWindow) record(d time.Duration, traceID string) {
+	if traceID == "" {
+		return
+	}
+	ns := d.Nanoseconds()
+	w.mu.Lock()
+	w.rotate(time.Now())
+	if ns > w.cur.ns || w.cur.traceID == "" {
+		w.cur = slowSample{traceID: traceID, ns: ns}
+	}
+	w.mu.Unlock()
+}
+
+// slowestTraceID reports the trace of the slowest sample in the live
+// windows ("" when no traced job ran recently).
+func (w *slowestWindow) slowestTraceID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotate(time.Now())
+	if w.prev.ns > w.cur.ns {
+		return w.prev.traceID
+	}
+	return w.cur.traceID
+}
+
+// rotate advances the window buckets; callers hold mu.
+func (w *slowestWindow) rotate(now time.Time) {
+	if w.curStart.IsZero() {
+		w.curStart = now
+		return
+	}
+	age := now.Sub(w.curStart)
+	switch {
+	case age >= 2*w.win:
+		// Idle across both buckets: everything is stale.
+		w.cur, w.prev = slowSample{}, slowSample{}
+		w.curStart = now
+	case age >= w.win:
+		w.prev = w.cur
+		w.cur = slowSample{}
+		w.curStart = w.curStart.Add(w.win)
+	}
 }
 
 // EngineThroughput is the engine-core gauge block of /metrics: the
@@ -115,16 +243,25 @@ type EngineThroughput struct {
 // MetricsSnapshot is the JSON shape of GET /metrics. Store is nil when the
 // service runs memory-only (no -store-dir).
 type MetricsSnapshot struct {
-	Requests     int64            `json:"requests"`
-	Jobs         int64            `json:"jobs"`
-	JobErrors    int64            `json:"jobErrors"`
-	InFlight     int64            `json:"inFlight"`
-	P50LatencyMS float64          `json:"p50LatencyMs"`
-	P95LatencyMS float64          `json:"p95LatencyMs"`
-	P99LatencyMS float64          `json:"p99LatencyMs"`
-	Cache        CacheStats       `json:"cache"`
-	Engine       EngineThroughput `json:"engine"`
-	Store        *store.Stats     `json:"store,omitempty"`
+	Node         string  `json:"node,omitempty"`
+	Requests     int64   `json:"requests"`
+	Jobs         int64   `json:"jobs"`
+	JobErrors    int64   `json:"jobErrors"`
+	InFlight     int64   `json:"inFlight"`
+	P50LatencyMS float64 `json:"p50LatencyMs"`
+	P95LatencyMS float64 `json:"p95LatencyMs"`
+	P99LatencyMS float64 `json:"p99LatencyMs"`
+	// SlowestTraceID is the trace of the slowest recent job — the
+	// exemplar that links a bad p99 straight to GET /v1/trace/{id}.
+	SlowestTraceID string `json:"slowestTraceId,omitempty"`
+	// JobLatency is the raw job-latency bucket snapshot. GET /v1/fleet
+	// merges these across nodes losslessly (all histograms share
+	// boundaries), which averaged percentiles cannot do.
+	JobLatency *obs.HistogramSnapshot `json:"jobLatency,omitempty"`
+	Events     uint64                 `json:"events,omitempty"`
+	Cache      CacheStats             `json:"cache"`
+	Engine     EngineThroughput       `json:"engine"`
+	Store      *store.Stats           `json:"store,omitempty"`
 	// Dispatch carries the multi-node dispatcher's per-backend and ring
 	// stats when the service fronts remote peers (dispatch.Stats; typed as
 	// any because the dispatch layer builds on serve, not the reverse).
@@ -143,14 +280,18 @@ type MetricsSnapshot struct {
 func (m *Metrics) Snapshot(cache *DeploymentCache, st *store.Store) MetricsSnapshot {
 	lat := m.jobLatency.Snapshot()
 	snap := MetricsSnapshot{
-		Requests:     m.requests.Load(),
-		Jobs:         m.jobs.Load(),
-		JobErrors:    m.jobErrors.Load(),
-		InFlight:     m.inFlight.Load(),
-		P50LatencyMS: float64(lat.Quantile(0.50)) / float64(time.Millisecond),
-		P95LatencyMS: float64(lat.Quantile(0.95)) / float64(time.Millisecond),
-		P99LatencyMS: float64(lat.Quantile(0.99)) / float64(time.Millisecond),
-		Engine:       m.engineThroughput(),
+		Node:           m.node,
+		Requests:       m.requests.Load(),
+		Jobs:           m.jobs.Load(),
+		JobErrors:      m.jobErrors.Load(),
+		InFlight:       m.inFlight.Load(),
+		P50LatencyMS:   float64(lat.Quantile(0.50)) / float64(time.Millisecond),
+		P95LatencyMS:   float64(lat.Quantile(0.95)) / float64(time.Millisecond),
+		P99LatencyMS:   float64(lat.Quantile(0.99)) / float64(time.Millisecond),
+		SlowestTraceID: m.slowest.slowestTraceID(),
+		JobLatency:     &lat,
+		Events:         m.journal.EventCount(),
+		Engine:         m.engineThroughput(),
 	}
 	if cache != nil {
 		snap.Cache = cache.Stats()

@@ -6,6 +6,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"javaflow/internal/obs"
 )
 
 // promLine accepts one Prometheus text-format 0.0.4 sample line:
@@ -26,6 +28,9 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("seed run: status %d", resp.StatusCode)
 	}
+	// Journal counters register lazily on the first emit of each
+	// (subsystem, kind); seed one so javaflow_events_total is present.
+	svc.Scheduler().Metrics().Journal().Emit("test", "probe", obs.SevInfo, "")
 
 	res, err := http.Get(ts.URL + "/metrics?format=prometheus")
 	if err != nil {
@@ -67,8 +72,10 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 		"javaflow_engine_runs_total",
 		"javaflow_engine_mesh_cycles_total",
 		"javaflow_trace_spans_total",
+		"javaflow_events_total",
 		"javaflow_goroutines",
 		"javaflow_heap_alloc_bytes",
+		"javaflow_build_info",
 	} {
 		if !strings.Contains(body, "\n"+name) && !strings.HasPrefix(body, name) {
 			t.Errorf("exposition is missing %s", name)
@@ -79,5 +86,14 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 	// histogram's +Inf bucket must agree with its _count.
 	if !strings.Contains(body, `javaflow_http_request_duration_seconds_bucket{endpoint="POST /v1/run",le="+Inf"}`) {
 		t.Error(`missing +Inf bucket for endpoint="POST /v1/run"`)
+	}
+
+	// build_info carries the build metadata as labels with a constant 1.
+	buildInfo := regexp.MustCompile(`javaflow_build_info\{[^}]*engine_version="[0-9]+"[^}]*\} 1`)
+	if !buildInfo.MatchString(body) {
+		t.Error(`javaflow_build_info missing or missing its engine_version label`)
+	}
+	if !regexp.MustCompile(`javaflow_build_info\{[^}]*go_version="go[^"]+"[^}]*\} 1`).MatchString(body) {
+		t.Error(`javaflow_build_info missing its go_version label`)
 	}
 }

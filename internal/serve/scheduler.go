@@ -198,7 +198,7 @@ func (s *Scheduler) RunMethodCycles(ctx context.Context, cfg sim.Config, m *clas
 		if run, ok := s.store.GetRun(key); ok {
 			run.BP1.Config = cfg.Name
 			run.BP2.Config = cfg.Name
-			s.metrics.JobFinished(start, nil)
+			s.metrics.JobFinished(start, span.Context().TraceID, nil)
 			span.SetAttr("outcome", "warm")
 			span.End(nil)
 			return run, nil
@@ -206,7 +206,7 @@ func (s *Scheduler) RunMethodCycles(ctx context.Context, cfg sim.Config, m *clas
 	}
 
 	run, err := s.runner(ctx, maxCycles).RunMethod(cfg, m)
-	s.metrics.JobFinished(start, err)
+	s.metrics.JobFinished(start, span.Context().TraceID, err)
 	if err == nil && s.store != nil {
 		s.store.PutRun(key, run)
 	}

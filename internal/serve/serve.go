@@ -67,6 +67,7 @@ type Service struct {
 	runner       BatchRunner
 	replicator   *replicate.Replicator
 	admission    *admit.Controller
+	fleet        *Fleet
 	scenarios    *scenario.Registry
 	configs      []sim.Config
 	configByName map[string]sim.Config
@@ -138,6 +139,15 @@ func (s *Service) SetAdmission(c *admit.Controller) { s.admission = c }
 
 // Admission returns the attached controller (nil when unbounded).
 func (s *Service) Admission() *admit.Controller { return s.admission }
+
+// SetFleet attaches the fleet-observability peer set: GET /v1/trace
+// and GET /v1/fleet then fan out to these peers instead of reporting
+// this node alone. Nil (the default) keeps both endpoints working
+// single-node. Call before serving traffic.
+func (s *Service) SetFleet(f *Fleet) { s.fleet = f }
+
+// Fleet returns the attached fleet peer set (nil when single-node).
+func (s *Service) Fleet() *Fleet { return s.fleet }
 
 // SetScenarios attaches the scenario registry, enabling GET /v1/scenarios
 // and scenario-keyed batch submission. Call before serving traffic.

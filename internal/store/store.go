@@ -62,8 +62,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"javaflow/internal/obs"
 )
 
 // DefaultMaxSegmentBytes rotates the active segment once it passes 8 MiB
@@ -140,6 +143,11 @@ type Store struct {
 	// uses it as its push trigger; the hook must not block (it runs on the
 	// single writer goroutine) and must not call back into the store.
 	appendHook atomic.Pointer[func()]
+
+	// journal, when set (SetJournal), receives compaction and quarantine
+	// events. Held through an atomic pointer so late attachment cannot
+	// race a live Compact.
+	journal atomic.Pointer[obs.Journal]
 
 	runHits, runMisses       atomic.Int64
 	deployHits, deployMisses atomic.Int64
@@ -600,5 +608,8 @@ func (s *Store) Compact() error {
 	}
 	s.segCount = 2
 	s.compactions.Add(1)
+	s.journal.Load().Emit("store", "compaction", obs.SevInfo, "",
+		"segment", strconv.Itoa(compactSeq),
+		"bytes", strconv.Itoa(len(buf)))
 	return nil
 }
